@@ -1,0 +1,191 @@
+// Benchmarks regenerating the paper's evaluation workloads. One benchmark
+// per table/figure drives the same code path as the corresponding cmd/
+// binary; the BenchmarkNative* group measures the golden Go ciphers on the
+// host CPU, standing in for the paper's real-Alpha validation bar in
+// Figure 4 (report MB/s via the custom metric).
+package cryptoarch_test
+
+import (
+	"fmt"
+	"testing"
+
+	"cryptoarch"
+	"cryptoarch/internal/ciphers"
+	"cryptoarch/internal/experiments"
+	"cryptoarch/internal/isa"
+	"cryptoarch/internal/ooo"
+	"cryptoarch/internal/pubkey"
+)
+
+// benchReport runs one experiment generator per benchmark iteration.
+func benchReport(b *testing.B, run func() (*experiments.Report, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) { benchReport(b, experiments.Table1) }
+func BenchmarkTable2(b *testing.B) { benchReport(b, experiments.Table2) }
+func BenchmarkFig2(b *testing.B)   { benchReport(b, experiments.Fig2) }
+func BenchmarkFig4(b *testing.B)   { benchReport(b, experiments.Fig4) }
+func BenchmarkFig5(b *testing.B)   { benchReport(b, experiments.Fig5) }
+func BenchmarkFig6(b *testing.B)   { benchReport(b, experiments.Fig6) }
+func BenchmarkFig7(b *testing.B)   { benchReport(b, experiments.Fig7) }
+func BenchmarkFig10(b *testing.B)  { benchReport(b, experiments.Fig10) }
+func BenchmarkValuePred(b *testing.B) {
+	benchReport(b, experiments.ValuePred)
+}
+
+// BenchmarkSimulator measures timing-model throughput (simulated
+// instructions per second) on the baseline machine.
+func BenchmarkSimulator(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		st, err := cryptoarch.Time("blowfish", cryptoarch.ISARotate, cryptoarch.FourWide, 4096)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(st.Instructions))
+	}
+}
+
+// BenchmarkKernelEmulation measures functional-emulator throughput.
+func BenchmarkKernelEmulation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		n, err := cryptoarch.InstructionCount("rijndael", cryptoarch.ISAExtended, 4096)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(n))
+	}
+}
+
+// Native cipher throughput: the host-CPU analogue of Figure 4's
+// real-machine bar.
+func BenchmarkNative(b *testing.B) {
+	const session = 64 << 10
+	for _, name := range ciphers.Names() {
+		b.Run(name, func(b *testing.B) {
+			c, err := ciphers.Lookup(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			key := make([]byte, c.KeyBytes())
+			for i := range key {
+				key[i] = byte(i + 1)
+			}
+			src := make([]byte, session)
+			dst := make([]byte, session)
+			b.SetBytes(session)
+			if c.Info.Stream {
+				s, err := c.NewStream(key)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s.XORKeyStream(dst, src)
+				}
+				return
+			}
+			blk, err := c.NewBlock(key)
+			if err != nil {
+				b.Fatal(err)
+			}
+			iv := make([]byte, blk.BlockSize())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ciphers.CBCEncrypt(blk, iv, dst, src)
+			}
+		})
+	}
+}
+
+// BenchmarkNativeSetup measures key-schedule cost on the host (the
+// Figure 6 quantity, natively).
+func BenchmarkNativeSetup(b *testing.B) {
+	for _, name := range ciphers.Names() {
+		b.Run(name, func(b *testing.B) {
+			c, err := ciphers.Lookup(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			key := make([]byte, c.KeyBytes())
+			for i := range key {
+				key[i] = byte(i + 1)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if c.Info.Stream {
+					if _, err := c.NewStream(key); err != nil {
+						b.Fatal(err)
+					}
+				} else if _, err := c.NewBlock(key); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMontgomery measures the public-key substrate natively.
+func BenchmarkMontgomery(b *testing.B) {
+	w := pubkey.NewWorkload(1)
+	b.Run("montmul-1024", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = pubkey.MontMul(&w.Base, &w.RMod, &w.M, w.N0)
+		}
+	})
+	b.Run("modexp-1024", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = pubkey.ModExp(&w.Base, &w.Exp, &w.M, &w.RMod, &w.R2, w.N0)
+		}
+	})
+}
+
+// BenchmarkModelSweep times each machine model on one representative
+// kernel, exercising every engine configuration path.
+func BenchmarkModelSweep(b *testing.B) {
+	for _, cfg := range []ooo.Config{ooo.FourWide, ooo.FourWidePlus, ooo.EightWidePlus, ooo.Dataflow} {
+		b.Run(cfg.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cryptoarch.Time("twofish", isa.FeatOpt, cfg, 2048); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Example-style smoke check so `go test .` exercises the façade.
+func TestPublicAPISurface(t *testing.T) {
+	names := cryptoarch.CipherNames()
+	if len(names) != 8 {
+		t.Fatalf("expected 8 ciphers, got %v", names)
+	}
+	for _, n := range names {
+		info, err := cryptoarch.Info(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.KeyBytes == 0 || info.Rounds == 0 {
+			t.Fatalf("%s: incomplete info %+v", n, info)
+		}
+	}
+	if _, err := cryptoarch.NewCipher("rc4", make([]byte, 16)); err == nil {
+		t.Fatal("rc4 must be rejected by NewCipher")
+	}
+	if _, err := cryptoarch.NewStream("3des", make([]byte, 24)); err == nil {
+		t.Fatal("3des must be rejected by NewStream")
+	}
+	st, err := cryptoarch.Time("idea", cryptoarch.ISAExtended, cryptoarch.FourWide, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cycles == 0 || st.Instructions == 0 {
+		t.Fatal("empty timing run")
+	}
+	fmt.Println("public API smoke:", st.Config, st.Cycles, "cycles")
+}

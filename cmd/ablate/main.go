@@ -1,0 +1,36 @@
+// Command ablate sweeps one microarchitecture parameter of the 4W+
+// machine while running the fully optimized kernels, isolating the
+// contribution of each design choice (an extension of the paper's
+// Section 6 discussion).
+//
+// Usage:
+//
+//	go run ./cmd/ablate -param sbox-caches [-cipher rijndael] [-md]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cryptoarch/internal/experiments"
+)
+
+func main() {
+	param := flag.String("param", "issue-width",
+		"parameter to sweep: "+strings.Join(experiments.AblationNames(), ", "))
+	cipher := flag.String("cipher", "", "restrict to one cipher (default: all)")
+	md := flag.Bool("md", false, "emit a markdown table")
+	flag.Parse()
+	r, err := experiments.Ablate(*param, *cipher)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	if *md {
+		fmt.Print(r.Markdown())
+	} else {
+		fmt.Print(r.Text())
+	}
+}

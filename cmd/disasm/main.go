@@ -1,0 +1,47 @@
+// Command disasm prints the AXP64 assembly listing of a cipher kernel (or
+// its key-setup program) at a chosen instruction-set level — useful for
+// inspecting exactly what code each experiment measures.
+//
+// Usage:
+//
+//	go run ./cmd/disasm -cipher blowfish -isa opt [-setup]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cryptoarch/internal/isa"
+	"cryptoarch/internal/kernels"
+)
+
+func main() {
+	cipher := flag.String("cipher", "blowfish", "cipher kernel to disassemble")
+	level := flag.String("isa", "rot", "instruction-set level: norot, rot, opt")
+	setup := flag.Bool("setup", false, "disassemble the key-setup program")
+	flag.Parse()
+
+	var feat isa.Feature
+	switch *level {
+	case "norot":
+		feat = isa.FeatNoRot
+	case "rot":
+		feat = isa.FeatRot
+	case "opt":
+		feat = isa.FeatOpt
+	default:
+		fmt.Fprintf(os.Stderr, "unknown ISA level %q\n", *level)
+		os.Exit(1)
+	}
+	k, err := kernels.Get(*cipher)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	prog := k.Build(feat)
+	if *setup {
+		prog = k.BuildSetup(feat)
+	}
+	fmt.Print(isa.Listing(prog))
+}

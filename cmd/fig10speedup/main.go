@@ -1,0 +1,7 @@
+// Command fig10speedup regenerates Figure 10 (optimized kernel speedups) from the paper
+// "Architectural Support for Fast Symmetric-Key Cryptography" (ASPLOS 2000).
+package main
+
+import "cryptoarch/internal/experiments"
+
+func main() { experiments.Main(experiments.Fig10) }

@@ -1,0 +1,7 @@
+// Command fig2ssl regenerates Figure 2 (SSL characterization by session length) from the paper
+// "Architectural Support for Fast Symmetric-Key Cryptography" (ASPLOS 2000).
+package main
+
+import "cryptoarch/internal/experiments"
+
+func main() { experiments.Main(experiments.Fig2) }

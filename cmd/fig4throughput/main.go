@@ -1,0 +1,7 @@
+// Command fig4throughput regenerates Figure 4 (cipher encryption throughput) from the paper
+// "Architectural Support for Fast Symmetric-Key Cryptography" (ASPLOS 2000).
+package main
+
+import "cryptoarch/internal/experiments"
+
+func main() { experiments.Main(experiments.Fig4) }

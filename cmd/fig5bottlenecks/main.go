@@ -1,0 +1,7 @@
+// Command fig5bottlenecks regenerates Figure 5 (bottleneck analysis) from the paper
+// "Architectural Support for Fast Symmetric-Key Cryptography" (ASPLOS 2000).
+package main
+
+import "cryptoarch/internal/experiments"
+
+func main() { experiments.Main(experiments.Fig5) }

@@ -1,0 +1,7 @@
+// Command fig6setup regenerates Figure 6 (setup cost vs session length) from the paper
+// "Architectural Support for Fast Symmetric-Key Cryptography" (ASPLOS 2000).
+package main
+
+import "cryptoarch/internal/experiments"
+
+func main() { experiments.Main(experiments.Fig6) }

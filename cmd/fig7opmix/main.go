@@ -1,0 +1,7 @@
+// Command fig7opmix regenerates Figure 7 (kernel operation mix) from the paper
+// "Architectural Support for Fast Symmetric-Key Cryptography" (ASPLOS 2000).
+package main
+
+import "cryptoarch/internal/experiments"
+
+func main() { experiments.Main(experiments.Fig7) }

@@ -1,0 +1,31 @@
+// Command tables regenerates Table 1 (the cipher suite) and Table 2 (the
+// machine models) from the paper "Architectural Support for Fast
+// Symmetric-Key Cryptography" (ASPLOS 2000).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cryptoarch/internal/experiments"
+)
+
+func main() {
+	md := flag.Bool("md", false, "emit markdown tables")
+	flag.Parse()
+	for _, run := range []func() (*experiments.Report, error){
+		experiments.Table1, experiments.Table2,
+	} {
+		r, err := run()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		if *md {
+			fmt.Println(r.Markdown())
+		} else {
+			fmt.Println(r.Text())
+		}
+	}
+}

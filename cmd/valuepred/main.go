@@ -1,0 +1,7 @@
+// Command valuepred regenerates the Section 4.3 value-prediction study from the paper
+// "Architectural Support for Fast Symmetric-Key Cryptography" (ASPLOS 2000).
+package main
+
+import "cryptoarch/internal/experiments"
+
+func main() { experiments.Main(experiments.ValuePred) }

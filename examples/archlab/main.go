@@ -1,0 +1,58 @@
+// Archlab: sweep every cipher kernel across the paper's machine models
+// and instruction-set levels, reproducing the headline comparison of
+// Figure 10 interactively — the workflow of a computer architect using
+// this repository as a laboratory.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cryptoarch"
+)
+
+func main() {
+	const session = 2048
+	levels := []struct {
+		name string
+		isa  cryptoarch.ISA
+	}{
+		{"norot", cryptoarch.ISABase},
+		{"rot", cryptoarch.ISARotate},
+		{"opt", cryptoarch.ISAExtended},
+	}
+	machines := []cryptoarch.Machine{
+		cryptoarch.FourWide, cryptoarch.FourWidePlus,
+		cryptoarch.EightWidePlus, cryptoarch.Dataflow,
+	}
+
+	fmt.Printf("%-9s %-6s", "cipher", "code")
+	for _, m := range machines {
+		fmt.Printf(" %10s", m.Name)
+	}
+	fmt.Println("   (bytes / 1000 cycles)")
+
+	for _, cipher := range cryptoarch.CipherNames() {
+		base, err := cryptoarch.Time(cipher, cryptoarch.ISARotate, cryptoarch.FourWide, session)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, lv := range levels {
+			fmt.Printf("%-9s %-6s", cipher, lv.name)
+			for _, m := range machines {
+				st, err := cryptoarch.Time(cipher, lv.isa, m, session)
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf(" %10.1f", float64(session)*1000/float64(st.Cycles))
+			}
+			fmt.Println()
+		}
+		opt, err := cryptoarch.Time(cipher, cryptoarch.ISAExtended, cryptoarch.FourWide, session)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9s speedup of opt over rot on 4W: %.2fx\n\n",
+			cipher, float64(base.Cycles)/float64(opt.Cycles))
+	}
+}

@@ -1,0 +1,83 @@
+// Secure-channel: the session-management strategy the paper's
+// introduction describes, end to end. A client and server exchange a
+// private key under a 1024-bit Diffie-Hellman-style handshake built on
+// this repository's from-scratch Montgomery exponentiation (the expensive
+// public-key step), then switch to a fast symmetric cipher (Twofish-CBC)
+// for the bulk of the session — exactly why the paper optimizes the
+// symmetric kernels.
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"log"
+
+	"cryptoarch"
+	"cryptoarch/internal/pubkey"
+)
+
+// handshake derives a shared secret: g^a, g^b exchanged, both sides
+// compute g^(ab) mod p with the Montgomery exponentiator.
+func handshake() (client, server []byte) {
+	// Deterministic demo parameters (p odd, 1024-bit).
+	w := pubkey.NewWorkload(2026)
+	p := w.M
+	g := w.Base
+
+	var a, b pubkey.Num
+	a[0], a[1] = 0xdeadbeefcafef00d, 0x0123456789abcdef
+	b[0], b[1] = 0xfeedfacec0ffee00, 0xfedcba9876543210
+
+	ga := pubkey.ModExp(&g, &a, &p, &w.RMod, &w.R2, w.N0)  // client -> server
+	gb := pubkey.ModExp(&g, &b, &p, &w.RMod, &w.R2, w.N0)  // server -> client
+	kc := pubkey.ModExp(&gb, &a, &p, &w.RMod, &w.R2, w.N0) // client side
+	ks := pubkey.ModExp(&ga, &b, &p, &w.RMod, &w.R2, w.N0) // server side
+
+	hc := sha256.Sum256([]byte(kc.Big().Text(16)))
+	hs := sha256.Sum256([]byte(ks.Big().Text(16)))
+	return hc[:16], hs[:16]
+}
+
+type record struct{ payload []byte }
+
+func main() {
+	ck, sk := handshake()
+	if !bytes.Equal(ck, sk) {
+		log.Fatal("handshake: shared secrets differ")
+	}
+	fmt.Printf("handshake complete; 128-bit session key %x\n", ck)
+
+	// Bulk transfer: client encrypts records, server decrypts.
+	wire := make(chan record)
+	const blocks = 4
+	go func() { // client
+		enc, err := cryptoarch.NewCipher("twofish", ck)
+		if err != nil {
+			log.Fatal(err)
+		}
+		iv := make([]byte, enc.BlockSize())
+		for i := 0; i < blocks; i++ {
+			msg := []byte(fmt.Sprintf("record %d: the quick brown fox jumps over..", i))
+			msg = msg[:enc.BlockSize()*2]
+			ct := make([]byte, len(msg))
+			cryptoarch.EncryptCBC(enc, iv, ct, msg)
+			wire <- record{payload: ct}
+		}
+		close(wire)
+	}()
+
+	dec, err := cryptoarch.NewCipher("twofish", sk)
+	if err != nil {
+		log.Fatal(err)
+	}
+	iv := make([]byte, dec.BlockSize())
+	n := 0
+	for rec := range wire { // server
+		pt := make([]byte, len(rec.payload))
+		cryptoarch.DecryptCBC(dec, iv, pt, rec.payload)
+		fmt.Printf("server received: %q\n", pt)
+		n++
+	}
+	fmt.Printf("session closed after %d records; CBC state chained across records\n", n)
+}

@@ -1,0 +1,3 @@
+module cryptoarch
+
+go 1.22

@@ -1,0 +1,93 @@
+package blowfish
+
+import (
+	"bytes"
+	"encoding/hex"
+	"math/rand"
+	"testing"
+)
+
+// Known-answer vectors from Schneier's published Blowfish test data
+// (8-byte keys).
+var kats = []struct{ key, pt, ct string }{
+	{"0000000000000000", "0000000000000000", "4ef997456198dd78"},
+	{"ffffffffffffffff", "ffffffffffffffff", "51866fd5b85ecb8a"},
+	{"3000000000000000", "1000000000000001", "7d856f9a613063f2"},
+	{"1111111111111111", "1111111111111111", "2466dd878b963c9d"},
+	{"0123456789abcdef", "1111111111111111", "61f9c3802281b096"},
+	{"fedcba9876543210", "0123456789abcdef", "0aceab0fc6a0a28d"},
+	{"7ca110454a1a6e57", "01a1d6d039776742", "59c68245eb05282b"},
+}
+
+func TestKnownAnswers(t *testing.T) {
+	for _, v := range kats {
+		key, _ := hex.DecodeString(v.key)
+		pt, _ := hex.DecodeString(v.pt)
+		want, _ := hex.DecodeString(v.ct)
+		bf, err := New(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 8)
+		bf.Encrypt(got, pt)
+		if !bytes.Equal(got, want) {
+			t.Errorf("key %s pt %s: got %x want %s", v.key, v.pt, got, v.ct)
+		}
+		back := make([]byte, 8)
+		bf.Decrypt(back, got)
+		if !bytes.Equal(back, pt) {
+			t.Errorf("key %s: decrypt mismatch", v.key)
+		}
+	}
+}
+
+func TestPiTable(t *testing.T) {
+	// First words of the published P-array and each S-box.
+	wantP := []uint32{0x243f6a88, 0x85a308d3, 0x13198a2e, 0x03707344}
+	for i, w := range wantP {
+		if piInit[i] != w {
+			t.Fatalf("piInit[%d] = %08x, want %08x", i, piInit[i], w)
+		}
+	}
+	if piInit[pWords] != 0xd1310ba6 {
+		t.Fatalf("S0[0] seed = %08x, want d1310ba6", piInit[pWords])
+	}
+}
+
+func TestRoundTrip128(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	key := make([]byte, 16) // the paper's 128-bit configuration
+	rng.Read(key)
+	bf, err := New(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		pt := make([]byte, 8)
+		rng.Read(pt)
+		ct := make([]byte, 8)
+		back := make([]byte, 8)
+		bf.Encrypt(ct, pt)
+		bf.Decrypt(back, ct)
+		if !bytes.Equal(back, pt) {
+			t.Fatalf("roundtrip failed for %x", pt)
+		}
+		if bytes.Equal(ct, pt) {
+			t.Fatalf("ciphertext equals plaintext for %x", pt)
+		}
+	}
+}
+
+func TestKeyLengths(t *testing.T) {
+	if _, err := New(make([]byte, 3)); err == nil {
+		t.Error("3-byte key accepted")
+	}
+	if _, err := New(make([]byte, 57)); err == nil {
+		t.Error("57-byte key accepted")
+	}
+	for _, n := range []int{4, 8, 16, 56} {
+		if _, err := New(make([]byte, n)); err != nil {
+			t.Errorf("%d-byte key rejected: %v", n, err)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Package ciphers defines the common block/stream cipher interfaces, CBC
+// chaining, and the registry of the eight symmetric-key ciphers analyzed in
+// the paper (Table 1): 3DES, Blowfish, IDEA, MARS, RC4, RC6, Rijndael and
+// Twofish. The implementations are written from scratch in the subpackages
+// and serve as the golden models against which every AXP64 kernel variant
+// is validated.
+package ciphers
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Block is a block cipher with a fixed block size.
+type Block interface {
+	// BlockSize returns the cipher block size in bytes.
+	BlockSize() int
+	// Encrypt encrypts one block from src into dst (may alias).
+	Encrypt(dst, src []byte)
+	// Decrypt decrypts one block from src into dst (may alias).
+	Decrypt(dst, src []byte)
+}
+
+// Stream is a stream cipher (RC4). XORKeyStream advances the keystream.
+type Stream interface {
+	XORKeyStream(dst, src []byte)
+}
+
+// Info is the Table 1 row for a cipher.
+type Info struct {
+	Name      string
+	KeyBits   int
+	BlockBits int // 8 for the RC4 stream cipher, as in the paper
+	Rounds    int
+	Author    string
+	Example   string // example application, per Table 1
+	Stream    bool
+}
+
+// Cipher couples Table 1 metadata with constructors for the golden model.
+type Cipher struct {
+	Info Info
+	// NewBlock returns the cipher keyed with key (nil for stream ciphers).
+	NewBlock func(key []byte) (Block, error)
+	// NewStream returns the keyed stream cipher (nil for block ciphers).
+	NewStream func(key []byte) (Stream, error)
+}
+
+var registry = map[string]*Cipher{}
+
+// Register adds a cipher to the registry; it is called from subpackage
+// glue in registry.go.
+func Register(c *Cipher) {
+	if _, dup := registry[c.Info.Name]; dup {
+		panic("ciphers: duplicate registration of " + c.Info.Name)
+	}
+	registry[c.Info.Name] = c
+}
+
+// Lookup returns the named cipher.
+func Lookup(name string) (*Cipher, error) {
+	c, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("ciphers: unknown cipher %q", name)
+	}
+	return c, nil
+}
+
+// Names returns all registered cipher names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CBCEncrypt encrypts src (a whole number of blocks) in chaining-block-
+// cipher mode, updating iv in place to the last ciphertext block so that
+// sessions may be continued. dst may alias src.
+func CBCEncrypt(b Block, iv, dst, src []byte) {
+	n := b.BlockSize()
+	if len(src)%n != 0 {
+		panic("ciphers: CBCEncrypt input not a whole number of blocks")
+	}
+	if len(iv) != n {
+		panic("ciphers: CBCEncrypt iv length mismatch")
+	}
+	for off := 0; off < len(src); off += n {
+		for i := 0; i < n; i++ {
+			iv[i] ^= src[off+i]
+		}
+		b.Encrypt(iv, iv)
+		copy(dst[off:off+n], iv)
+	}
+}
+
+// CBCDecrypt reverses CBCEncrypt, updating iv to the last ciphertext block.
+func CBCDecrypt(b Block, iv, dst, src []byte) {
+	n := b.BlockSize()
+	if len(src)%n != 0 {
+		panic("ciphers: CBCDecrypt input not a whole number of blocks")
+	}
+	if len(iv) != n {
+		panic("ciphers: CBCDecrypt iv length mismatch")
+	}
+	prev := make([]byte, n)
+	copy(prev, iv)
+	tmp := make([]byte, n)
+	for off := 0; off < len(src); off += n {
+		copy(tmp, src[off:off+n])
+		b.Decrypt(dst[off:off+n], src[off:off+n])
+		for i := 0; i < n; i++ {
+			dst[off+i] ^= prev[i]
+		}
+		copy(prev, tmp)
+	}
+	copy(iv, prev)
+}

@@ -1,0 +1,537 @@
+// Package des implements the Data Encryption Standard and 3DES (EDE3) from
+// scratch: a textbook FIPS 46-3 model, plus the "fast domain" formulation
+// (combined SP tables with byte-aligned index fields, the layout popularized
+// by Eric Young's libdes and used by the paper's CryptSoft baseline). The
+// fast-domain tables and round keys are exported for the AXP64 kernels.
+package des
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// ---- FIPS 46-3 tables (bit numbers are 1-based, MSB first) ----
+
+var ipTable = [64]byte{
+	58, 50, 42, 34, 26, 18, 10, 2,
+	60, 52, 44, 36, 28, 20, 12, 4,
+	62, 54, 46, 38, 30, 22, 14, 6,
+	64, 56, 48, 40, 32, 24, 16, 8,
+	57, 49, 41, 33, 25, 17, 9, 1,
+	59, 51, 43, 35, 27, 19, 11, 3,
+	61, 53, 45, 37, 29, 21, 13, 5,
+	63, 55, 47, 39, 31, 23, 15, 7,
+}
+
+var fpTable = [64]byte{
+	40, 8, 48, 16, 56, 24, 64, 32,
+	39, 7, 47, 15, 55, 23, 63, 31,
+	38, 6, 46, 14, 54, 22, 62, 30,
+	37, 5, 45, 13, 53, 21, 61, 29,
+	36, 4, 44, 12, 52, 20, 60, 28,
+	35, 3, 43, 11, 51, 19, 59, 27,
+	34, 2, 42, 10, 50, 18, 58, 26,
+	33, 1, 41, 9, 49, 17, 57, 25,
+}
+
+var eTable = [48]byte{
+	32, 1, 2, 3, 4, 5,
+	4, 5, 6, 7, 8, 9,
+	8, 9, 10, 11, 12, 13,
+	12, 13, 14, 15, 16, 17,
+	16, 17, 18, 19, 20, 21,
+	20, 21, 22, 23, 24, 25,
+	24, 25, 26, 27, 28, 29,
+	28, 29, 30, 31, 32, 1,
+}
+
+var pTable = [32]byte{
+	16, 7, 20, 21, 29, 12, 28, 17,
+	1, 15, 23, 26, 5, 18, 31, 10,
+	2, 8, 24, 14, 32, 27, 3, 9,
+	19, 13, 30, 6, 22, 11, 4, 25,
+}
+
+var pc1Table = [56]byte{
+	57, 49, 41, 33, 25, 17, 9,
+	1, 58, 50, 42, 34, 26, 18,
+	10, 2, 59, 51, 43, 35, 27,
+	19, 11, 3, 60, 52, 44, 36,
+	63, 55, 47, 39, 31, 23, 15,
+	7, 62, 54, 46, 38, 30, 22,
+	14, 6, 61, 53, 45, 37, 29,
+	21, 13, 5, 28, 20, 12, 4,
+}
+
+var pc2Table = [48]byte{
+	14, 17, 11, 24, 1, 5,
+	3, 28, 15, 6, 21, 10,
+	23, 19, 12, 4, 26, 8,
+	16, 7, 27, 20, 13, 2,
+	41, 52, 31, 37, 47, 55,
+	30, 40, 51, 45, 33, 48,
+	44, 49, 39, 56, 34, 53,
+	46, 42, 50, 36, 29, 32,
+}
+
+var ksShifts = [16]byte{1, 1, 2, 2, 2, 2, 2, 2, 1, 2, 2, 2, 2, 2, 2, 1}
+
+// sBoxes[i][row][col], FIPS S-boxes S1..S8.
+var sBoxes = [8][4][16]byte{
+	{
+		{14, 4, 13, 1, 2, 15, 11, 8, 3, 10, 6, 12, 5, 9, 0, 7},
+		{0, 15, 7, 4, 14, 2, 13, 1, 10, 6, 12, 11, 9, 5, 3, 8},
+		{4, 1, 14, 8, 13, 6, 2, 11, 15, 12, 9, 7, 3, 10, 5, 0},
+		{15, 12, 8, 2, 4, 9, 1, 7, 5, 11, 3, 14, 10, 0, 6, 13},
+	},
+	{
+		{15, 1, 8, 14, 6, 11, 3, 4, 9, 7, 2, 13, 12, 0, 5, 10},
+		{3, 13, 4, 7, 15, 2, 8, 14, 12, 0, 1, 10, 6, 9, 11, 5},
+		{0, 14, 7, 11, 10, 4, 13, 1, 5, 8, 12, 6, 9, 3, 2, 15},
+		{13, 8, 10, 1, 3, 15, 4, 2, 11, 6, 7, 12, 0, 5, 14, 9},
+	},
+	{
+		{10, 0, 9, 14, 6, 3, 15, 5, 1, 13, 12, 7, 11, 4, 2, 8},
+		{13, 7, 0, 9, 3, 4, 6, 10, 2, 8, 5, 14, 12, 11, 15, 1},
+		{13, 6, 4, 9, 8, 15, 3, 0, 11, 1, 2, 12, 5, 10, 14, 7},
+		{1, 10, 13, 0, 6, 9, 8, 7, 4, 15, 14, 3, 11, 5, 2, 12},
+	},
+	{
+		{7, 13, 14, 3, 0, 6, 9, 10, 1, 2, 8, 5, 11, 12, 4, 15},
+		{13, 8, 11, 5, 6, 15, 0, 3, 4, 7, 2, 12, 1, 10, 14, 9},
+		{10, 6, 9, 0, 12, 11, 7, 13, 15, 1, 3, 14, 5, 2, 8, 4},
+		{3, 15, 0, 6, 10, 1, 13, 8, 9, 4, 5, 11, 12, 7, 2, 14},
+	},
+	{
+		{2, 12, 4, 1, 7, 10, 11, 6, 8, 5, 3, 15, 13, 0, 14, 9},
+		{14, 11, 2, 12, 4, 7, 13, 1, 5, 0, 15, 10, 3, 9, 8, 6},
+		{4, 2, 1, 11, 10, 13, 7, 8, 15, 9, 12, 5, 6, 3, 0, 14},
+		{11, 8, 12, 7, 1, 14, 2, 13, 6, 15, 0, 9, 10, 4, 5, 3},
+	},
+	{
+		{12, 1, 10, 15, 9, 2, 6, 8, 0, 13, 3, 4, 14, 7, 5, 11},
+		{10, 15, 4, 2, 7, 12, 9, 5, 6, 1, 13, 14, 0, 11, 3, 8},
+		{9, 14, 15, 5, 2, 8, 12, 3, 7, 0, 4, 10, 1, 13, 11, 6},
+		{4, 3, 2, 12, 9, 5, 15, 10, 11, 14, 1, 7, 6, 0, 8, 13},
+	},
+	{
+		{4, 11, 2, 14, 15, 0, 8, 13, 3, 12, 9, 7, 5, 10, 6, 1},
+		{13, 0, 11, 7, 4, 9, 1, 10, 14, 3, 5, 12, 2, 15, 8, 6},
+		{1, 4, 11, 13, 12, 3, 7, 14, 10, 15, 6, 8, 0, 5, 9, 2},
+		{6, 11, 13, 8, 1, 4, 10, 7, 9, 5, 0, 15, 14, 2, 3, 12},
+	},
+	{
+		{13, 2, 8, 4, 6, 15, 11, 1, 10, 9, 3, 14, 5, 0, 12, 7},
+		{1, 15, 13, 8, 10, 3, 7, 4, 12, 5, 6, 11, 0, 14, 9, 2},
+		{7, 11, 4, 1, 9, 12, 14, 2, 0, 6, 10, 13, 15, 3, 5, 8},
+		{2, 1, 14, 7, 4, 10, 8, 13, 15, 12, 9, 0, 3, 5, 6, 11},
+	},
+}
+
+// fipsBit reads 1-based MSB-first bit i of an n-bit value.
+func fipsBit(v uint64, i, n int) uint64 { return (v >> uint(n-i)) & 1 }
+
+// permute applies a FIPS permutation table: output bit j (1-based,
+// MSB-first, width len(table)) takes input bit table[j-1] of an inBits-wide
+// value.
+func permute(v uint64, table []byte, inBits int) uint64 {
+	var out uint64
+	for _, src := range table {
+		out = out<<1 | fipsBit(v, int(src), inBits)
+	}
+	return out
+}
+
+// ---- textbook single DES ----
+
+// subkeys48 computes the 16 round keys as 48-bit values (MSB-first).
+func subkeys48(key uint64) [16]uint64 {
+	cd := permute(key, pc1Table[:], 64) // 56 bits
+	c := uint32(cd>>28) & 0x0fffffff
+	d := uint32(cd) & 0x0fffffff
+	rot28 := func(v uint32, n byte) uint32 {
+		return ((v << n) | (v >> (28 - n))) & 0x0fffffff
+	}
+	var ks [16]uint64
+	for r := 0; r < 16; r++ {
+		c = rot28(c, ksShifts[r])
+		d = rot28(d, ksShifts[r])
+		ks[r] = permute(uint64(c)<<28|uint64(d), pc2Table[:], 56)
+	}
+	return ks
+}
+
+// feistel is the textbook round function on a 32-bit half (MSB-first).
+func feistel(r uint32, k48 uint64) uint32 {
+	e := permute(uint64(r), eTable[:], 32) // 48 bits
+	x := e ^ k48
+	var s uint32
+	for k := 0; k < 8; k++ {
+		six := byte(x >> uint(42-6*k) & 0x3f)
+		row := (six>>4)&2 | six&1
+		col := (six >> 1) & 0xf
+		s = s<<4 | uint32(sBoxes[k][row][col])
+	}
+	return uint32(permute(uint64(s), pTable[:], 32))
+}
+
+// encryptBlock runs one textbook DES on a 64-bit block (MSB-first; the
+// first plaintext byte is the most significant). decrypt reverses the key
+// order.
+func cryptBlock(block uint64, ks *[16]uint64, decrypt bool) uint64 {
+	v := permute(block, ipTable[:], 64)
+	l := uint32(v >> 32)
+	r := uint32(v)
+	for i := 0; i < 16; i++ {
+		k := i
+		if decrypt {
+			k = 15 - i
+		}
+		l, r = r, l^feistel(r, ks[k])
+	}
+	// Final swap then FP.
+	return permute(uint64(r)<<32|uint64(l), fpTable[:], 64)
+}
+
+// ---- fast domain ----
+//
+// The fast formulation keeps each half in a transformed bit order (the
+// "domain"): bytes are loaded little-endian, the classic 5-step swap
+// network computes IP, and both halves are then rotated left by 3. In this
+// domain the eight expansion-permutation 6-bit index fields of a round fall
+// at bits 2..7 of the four bytes of u = R^kA (even S-boxes) and
+// t = ror(R^kB, 4) (odd S-boxes), so a round is eight byte-indexed lookups
+// into combined SP tables. The mapping is derived numerically below by
+// probing with unit vectors and verified by tests, rather than trusted from
+// hand bit-algebra.
+
+// loadHalves assembles the two 32-bit domain inputs from an 8-byte block
+// (little-endian within each half, as the AXP64 kernel's LDL does).
+func loadHalves(b []byte) (l, r uint32) {
+	l = uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+	r = uint32(b[4]) | uint32(b[5])<<8 | uint32(b[6])<<16 | uint32(b[7])<<24
+	return
+}
+
+func storeHalves(b []byte, l, r uint32) {
+	b[0], b[1], b[2], b[3] = byte(l), byte(l>>8), byte(l>>16), byte(l>>24)
+	b[4], b[5], b[6], b[7] = byte(r), byte(r>>8), byte(r>>16), byte(r>>24)
+}
+
+// permOp is the classic swap-network step shared by IP and FP.
+func permOp(a, b *uint32, n uint, m uint32) {
+	t := ((*a >> n) ^ *b) & m
+	*b ^= t
+	*a ^= t << n
+}
+
+// ipNetwork computes the initial permutation in the little-endian domain
+// (the libdes formulation), leaving halves rotated left 3. The raw network
+// delivers the textbook halves exchanged, so the final step swaps them back
+// (free in the kernels: it is register naming).
+func ipNetwork(l, r *uint32) {
+	permOp(r, l, 4, 0x0f0f0f0f)
+	permOp(l, r, 16, 0x0000ffff)
+	permOp(r, l, 2, 0x33333333)
+	permOp(l, r, 8, 0x00ff00ff)
+	permOp(r, l, 1, 0x55555555)
+	*l, *r = bits.RotateLeft32(*r, 3), bits.RotateLeft32(*l, 3)
+}
+
+// fpNetwork inverts ipNetwork.
+func fpNetwork(l, r *uint32) {
+	*l, *r = bits.RotateLeft32(*r, -3), bits.RotateLeft32(*l, -3)
+	permOp(r, l, 1, 0x55555555)
+	permOp(l, r, 8, 0x00ff00ff)
+	permOp(r, l, 2, 0x33333333)
+	permOp(l, r, 16, 0x0000ffff)
+	permOp(r, l, 4, 0x0f0f0f0f)
+}
+
+// domainMap[j-1] gives, for textbook post-IP bit j (1-based MSB-first
+// within a half), its bit position (0-based LSB) in the fast domain.
+// Derived once by probing.
+var domainMap [32]int
+
+// fieldShift[k] is the LSB position of S-box k's 6-bit index field within
+// u (even k) or t (odd k). fieldOrder[k][i] gives which S-box input bit
+// (1..6) sits at field offset i.
+var (
+	fieldShift [8]uint
+	fieldOrder [8][6]int
+)
+
+// SPFast[k][f] is the fast-domain combined SP contribution of S-box k+1
+// for index-field value f.
+var SPFast [8][64]uint32
+
+func init() {
+	deriveDomain()
+	deriveFields()
+	buildSPFast()
+}
+
+// deriveDomain probes ipNetwork with unit vectors to learn where each
+// textbook post-IP bit lands in the fast domain, and checks that the L and
+// R halves use the same mapping.
+func deriveDomain() {
+	var lMap, rMap [32]int
+	for i := range lMap {
+		lMap[i], rMap[i] = -1, -1
+	}
+	for j := 1; j <= 64; j++ {
+		var blk [8]byte
+		// Textbook block bit j (1-based MSB-first): byte (j-1)/8, bit
+		// 7-(j-1)%8 within the (big-endian-read) byte.
+		blk[(j-1)/8] = 1 << uint(7-(j-1)%8)
+		// Textbook IP position of this input bit.
+		post := permute(uint64(blk[0])<<56|uint64(blk[1])<<48|uint64(blk[2])<<40|
+			uint64(blk[3])<<32|uint64(blk[4])<<24|uint64(blk[5])<<16|
+			uint64(blk[6])<<8|uint64(blk[7]), ipTable[:], 64)
+		l, r := loadHalves(blk[:])
+		ipNetwork(&l, &r)
+		switch {
+		case post>>32 != 0: // lands in textbook L
+			tj := 1 + bits.LeadingZeros32(uint32(post>>32)) // MSB-first index
+			if r != 0 || bits.OnesCount32(l) != 1 {
+				panic("des: swap network does not compute IP (L half)")
+			}
+			lMap[tj-1] = bits.TrailingZeros32(l)
+		default: // lands in textbook R
+			tj := 1 + bits.LeadingZeros32(uint32(post))
+			if l != 0 || bits.OnesCount32(r) != 1 {
+				panic("des: swap network does not compute IP (R half)")
+			}
+			rMap[tj-1] = bits.TrailingZeros32(r)
+		}
+	}
+	for i := range lMap {
+		if lMap[i] < 0 || lMap[i] != rMap[i] {
+			panic("des: L and R halves use different domains")
+		}
+		domainMap[i] = lMap[i]
+	}
+}
+
+// deriveFields locates each S-box's 6-bit index field in u/t and the order
+// of expansion bits within it.
+func deriveFields() {
+	for k := 0; k < 8; k++ {
+		// Expansion output bits 6k+1..6k+6 source textbook R bits
+		// eTable[6k..6k+5]; find their domain positions, applying the
+		// extra ror-4 for odd S-boxes (which index t rather than u).
+		var pos [6]int
+		for i := 0; i < 6; i++ {
+			p := domainMap[eTable[6*k+i]-1]
+			if k%2 == 1 {
+				p = (p - 4 + 32) % 32
+			}
+			pos[i] = p
+		}
+		lo, hi := pos[0], pos[0]
+		for _, p := range pos[1:] {
+			lo = min(lo, p)
+			hi = max(hi, p)
+		}
+		if hi-lo != 5 {
+			panic(fmt.Sprintf("des: S-box %d index field not contiguous (%v)", k+1, pos))
+		}
+		if lo%8 != 2 {
+			panic(fmt.Sprintf("des: S-box %d index field not byte-aligned at bit 2 (%v)", k+1, pos))
+		}
+		fieldShift[k] = uint(lo)
+		for i := 0; i < 6; i++ {
+			fieldOrder[k][pos[i]-lo] = i + 1 // S-box input bit number b1..b6
+		}
+	}
+}
+
+// buildSPFast fills the combined SP tables: S-box output run through P and
+// mapped into the fast domain.
+func buildSPFast() {
+	for k := 0; k < 8; k++ {
+		for f := 0; f < 64; f++ {
+			// Recover S-box input bits b1..b6 from field offsets.
+			var b [7]uint32 // 1-based
+			for off := 0; off < 6; off++ {
+				b[fieldOrder[k][off]] = uint32(f>>uint(off)) & 1
+			}
+			row := b[1]<<1 | b[6]
+			col := b[2]<<3 | b[3]<<2 | b[4]<<1 | b[5]
+			nib := uint32(sBoxes[k][row][col])
+			// Pre-P word: S-box k's nibble occupies textbook bits
+			// 4k+1..4k+4 (MSB-first).
+			pre := uint32(nib) << uint(32-4*(k+1))
+			post := uint32(permute(uint64(pre), pTable[:], 32))
+			// Map textbook positions to domain positions.
+			var d uint32
+			for j := 1; j <= 32; j++ {
+				if post>>(uint(32-j))&1 != 0 {
+					d |= 1 << uint(domainMap[j-1])
+				}
+			}
+			SPFast[k][f] = d
+		}
+	}
+}
+
+// FastSubkeys converts the textbook round keys into fast-domain pairs
+// (kA for even S-boxes indexing u, kB for odd S-boxes indexing t).
+func FastSubkeys(key uint64) [16][2]uint32 {
+	ks := subkeys48(key)
+	var out [16][2]uint32
+	for r := 0; r < 16; r++ {
+		for k := 0; k < 8; k++ {
+			var field uint32
+			for off := 0; off < 6; off++ {
+				bitNo := 6*k + fieldOrder[k][off] // 48-bit key bit, 1-based
+				field |= uint32(fipsBit(ks[r], bitNo, 48)) << uint(off)
+			}
+			out[r][k%2] |= field << fieldShift[k]
+		}
+	}
+	return out
+}
+
+// RoundFast computes one fast-domain round: returns l ^ f(r, kA, kB).
+func RoundFast(l, r, kA, kB uint32) uint32 {
+	u := r ^ kA
+	t := bits.RotateLeft32(r, -4) ^ kB
+	return l ^
+		SPFast[0][u>>2&0x3f] ^ SPFast[2][u>>10&0x3f] ^
+		SPFast[4][u>>18&0x3f] ^ SPFast[6][u>>26&0x3f] ^
+		SPFast[1][t>>2&0x3f] ^ SPFast[3][t>>10&0x3f] ^
+		SPFast[5][t>>18&0x3f] ^ SPFast[7][t>>26&0x3f]
+}
+
+// ---- public ciphers ----
+
+// KeySize is the single-DES key size in bytes; KeySize3 the 3DES size.
+const (
+	KeySize   = 8
+	KeySize3  = 24
+	BlockSize = 8
+)
+
+// DES is a single-DES instance.
+type DES struct {
+	ks   [16]uint64    // textbook 48-bit round keys
+	fast [16][2]uint32 // fast-domain round keys
+}
+
+// New returns a DES instance keyed with an 8-byte key (parity ignored).
+func New(key []byte) (*DES, error) {
+	if len(key) != KeySize {
+		return nil, fmt.Errorf("des: key must be %d bytes, got %d", KeySize, len(key))
+	}
+	var k uint64
+	for _, b := range key {
+		k = k<<8 | uint64(b)
+	}
+	d := &DES{ks: subkeys48(k), fast: FastSubkeys(k)}
+	return d, nil
+}
+
+// FastKeys exposes the fast-domain round keys for the AXP64 kernels.
+func (d *DES) FastKeys() [16][2]uint32 { return d.fast }
+
+// BlockSize implements ciphers.Block.
+func (d *DES) BlockSize() int { return BlockSize }
+
+func blockToU64(src []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v = v<<8 | uint64(src[i])
+	}
+	return v
+}
+
+func u64ToBlock(dst []byte, v uint64) {
+	for i := 7; i >= 0; i-- {
+		dst[i] = byte(v)
+		v >>= 8
+	}
+}
+
+// Encrypt implements ciphers.Block via the textbook path.
+func (d *DES) Encrypt(dst, src []byte) {
+	u64ToBlock(dst, cryptBlock(blockToU64(src), &d.ks, false))
+}
+
+// Decrypt implements ciphers.Block.
+func (d *DES) Decrypt(dst, src []byte) {
+	u64ToBlock(dst, cryptBlock(blockToU64(src), &d.ks, true))
+}
+
+// EncryptFast encrypts one block via the fast-domain formulation; the AXP64
+// kernels mirror this code path exactly.
+func (d *DES) EncryptFast(dst, src []byte) {
+	l, r := loadHalves(src)
+	ipNetwork(&l, &r)
+	for i := 0; i < 16; i++ {
+		l, r = r, RoundFast(l, r, d.fast[i][0], d.fast[i][1])
+	}
+	l, r = r, l // undo the final half-exchange
+	fpNetwork(&l, &r)
+	storeHalves(dst, l, r)
+}
+
+// TripleDES is 3DES in EDE3 mode with three independent keys, as specified
+// for SSL.
+type TripleDES struct {
+	k1, k2, k3 *DES
+}
+
+// New3 returns a 3DES instance keyed with a 24-byte key.
+func New3(key []byte) (*TripleDES, error) {
+	if len(key) != KeySize3 {
+		return nil, fmt.Errorf("des: 3DES key must be %d bytes, got %d", KeySize3, len(key))
+	}
+	k1, err := New(key[0:8])
+	if err != nil {
+		return nil, err
+	}
+	k2, err := New(key[8:16])
+	if err != nil {
+		return nil, err
+	}
+	k3, err := New(key[16:24])
+	if err != nil {
+		return nil, err
+	}
+	return &TripleDES{k1, k2, k3}, nil
+}
+
+// Stages exposes the three single-DES stages (for kernel key material).
+func (t *TripleDES) Stages() (k1, k2, k3 *DES) { return t.k1, t.k2, t.k3 }
+
+// BlockSize implements ciphers.Block.
+func (t *TripleDES) BlockSize() int { return BlockSize }
+
+// Encrypt implements ciphers.Block: E(k3, D(k2, E(k1, x))).
+func (t *TripleDES) Encrypt(dst, src []byte) {
+	v := blockToU64(src)
+	v = cryptBlock(v, &t.k1.ks, false)
+	v = cryptBlock(v, &t.k2.ks, true)
+	v = cryptBlock(v, &t.k3.ks, false)
+	u64ToBlock(dst, v)
+}
+
+// Decrypt implements ciphers.Block.
+func (t *TripleDES) Decrypt(dst, src []byte) {
+	v := blockToU64(src)
+	v = cryptBlock(v, &t.k3.ks, true)
+	v = cryptBlock(v, &t.k2.ks, false)
+	v = cryptBlock(v, &t.k1.ks, true)
+	u64ToBlock(dst, v)
+}
+
+// FastDecryptKeys returns the fast-domain keys of a stage in decryption
+// order, for kernels that run a stage inverted.
+func FastDecryptKeys(d *DES) [16][2]uint32 {
+	var out [16][2]uint32
+	for i := 0; i < 16; i++ {
+		out[i] = d.fast[15-i]
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package des
+
+import (
+	"bytes"
+	stddes "crypto/des"
+	"math/rand"
+	"testing"
+)
+
+func TestKnownAnswer(t *testing.T) {
+	// The classic DES worked example: key 133457799BBCDFF1,
+	// plaintext 0123456789ABCDEF -> ciphertext 85E813540F0AB405.
+	key := []byte{0x13, 0x34, 0x57, 0x79, 0x9B, 0xBC, 0xDF, 0xF1}
+	pt := []byte{0x01, 0x23, 0x45, 0x67, 0x89, 0xAB, 0xCD, 0xEF}
+	want := []byte{0x85, 0xE8, 0x13, 0x54, 0x0F, 0x0A, 0xB4, 0x05}
+	d, err := New(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 8)
+	d.Encrypt(got, pt)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("encrypt: got %x want %x", got, want)
+	}
+	back := make([]byte, 8)
+	d.Decrypt(back, got)
+	if !bytes.Equal(back, pt) {
+		t.Fatalf("decrypt: got %x want %x", back, pt)
+	}
+}
+
+func TestAgainstStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		key := make([]byte, 8)
+		pt := make([]byte, 8)
+		rng.Read(key)
+		rng.Read(pt)
+		ours, err := New(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := stddes.NewCipher(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 8)
+		want := make([]byte, 8)
+		ours.Encrypt(got, pt)
+		ref.Encrypt(want, pt)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("key %x pt %x: got %x want %x", key, pt, got, want)
+		}
+		ours.Decrypt(got, want)
+		if !bytes.Equal(got, pt) {
+			t.Fatalf("key %x: decrypt mismatch", key)
+		}
+	}
+}
+
+func TestFastPathMatchesTextbook(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		key := make([]byte, 8)
+		pt := make([]byte, 8)
+		rng.Read(key)
+		rng.Read(pt)
+		d, err := New(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow := make([]byte, 8)
+		fast := make([]byte, 8)
+		d.Encrypt(slow, pt)
+		d.EncryptFast(fast, pt)
+		if !bytes.Equal(slow, fast) {
+			t.Fatalf("key %x pt %x: fast %x textbook %x", key, pt, fast, slow)
+		}
+	}
+}
+
+func TestTripleDESAgainstStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		key := make([]byte, 24)
+		pt := make([]byte, 8)
+		rng.Read(key)
+		rng.Read(pt)
+		ours, err := New3(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := stddes.NewTripleDESCipher(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 8)
+		want := make([]byte, 8)
+		ours.Encrypt(got, pt)
+		ref.Encrypt(want, pt)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("3des key %x pt %x: got %x want %x", key, pt, got, want)
+		}
+		ours.Decrypt(got, want)
+		if !bytes.Equal(got, pt) {
+			t.Fatal("3des decrypt mismatch")
+		}
+	}
+}
+
+func TestFieldAlignment(t *testing.T) {
+	// The kernel depends on the index fields sitting at bits 2..7 of
+	// bytes 0..3: even S-boxes in u, odd in t.
+	for k := 0; k < 8; k++ {
+		wantShift := uint(8*(k/2) + 2)
+		if fieldShift[k] != wantShift {
+			t.Errorf("S-box %d field at bit %d, want %d", k+1, fieldShift[k], wantShift)
+		}
+	}
+}
+
+func TestFastDecryptKeys(t *testing.T) {
+	d, err := New([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := FastDecryptKeys(d)
+	for i := range dec {
+		if dec[i] != d.fast[15-i] {
+			t.Fatalf("round %d: decrypt keys not reversed", i)
+		}
+	}
+}

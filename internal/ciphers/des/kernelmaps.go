@@ -1,0 +1,151 @@
+package des
+
+import "math/bits"
+
+// Support for the AXP64 kernels: replicated SP tables compatible with the
+// SBOX instruction's byte indexing, and the bit-permutation maps that let
+// XBOX compute the initial/final permutations directly from (to) the
+// little-endian-loaded 64-bit block.
+
+// SPKernelTables returns the eight 256-entry tables T[k][b] =
+// SPFast[k][b>>2]: the index byte carries the 6-bit S-box field in bits
+// 2..7, so replicating each entry four times makes the low two bits
+// don't-cares, exactly the technique the paper describes for sub-byte
+// S-boxes.
+func SPKernelTables() [8][256]uint32 {
+	var out [8][256]uint32
+	for k := 0; k < 8; k++ {
+		for b := 0; b < 256; b++ {
+			out[k][b] = SPFast[k][b>>2&0x3f]
+		}
+	}
+	return out
+}
+
+// KernelPermMaps returns XBOX source-bit indices for the combined
+// byte-load + initial permutation and for the final permutation +
+// byte-store:
+//
+//   - ipBits[k][j] is the bit of the little-endian 64-bit input block that
+//     lands at bit j of byte k of the concatenated fast-domain halves
+//     (bytes 0..3 = Lf, bytes 4..7 = Rf);
+//   - fpBits[k][j] is the bit of Y = Lf | Rf<<32 that lands at bit j of
+//     byte k of the little-endian 64-bit output block.
+//
+// Both are derived by unit-vector probing of the same ipNetwork/fpNetwork
+// code the golden model runs.
+func KernelPermMaps() (ipBits, fpBits [8][8]uint8) {
+	var ipPos, fpPos [64]uint8
+	for s := 0; s < 64; s++ {
+		var blk [8]byte
+		blk[s/8] = 1 << uint(s%8)
+		l, r := loadHalves(blk[:])
+		ipNetwork(&l, &r)
+		switch {
+		case l != 0:
+			ipPos[bits.TrailingZeros32(l)] = uint8(s)
+		default:
+			ipPos[32+bits.TrailingZeros32(r)] = uint8(s)
+		}
+
+		y := uint64(1) << uint(s)
+		fl := uint32(y)
+		fr := uint32(y >> 32)
+		fpNetwork(&fl, &fr)
+		out := uint64(fl) | uint64(fr)<<32
+		fpPos[bits.TrailingZeros64(out)] = uint8(s)
+	}
+	for k := 0; k < 8; k++ {
+		for j := 0; j < 8; j++ {
+			ipBits[k][j] = ipPos[8*k+j]
+			fpBits[k][j] = fpPos[8*k+j]
+		}
+	}
+	return ipBits, fpBits
+}
+
+// Gather describes one bit move of a data-driven permutation: take SrcBit
+// of the source register, deposit it at DstPos of destination DstSel.
+type Gather struct {
+	SrcBit uint8
+	DstSel uint8
+	DstPos uint8
+}
+
+// PC1Gather returns the 56 bit moves of permuted choice 1: source bits are
+// LSB-first positions in the big-endian-assembled 64-bit key; destinations
+// are the C (sel 0) and D (sel 1) 28-bit halves, MSB-first as in the
+// golden schedule.
+func PC1Gather() [56]Gather {
+	var out [56]Gather
+	for i, src := range pc1Table {
+		sel := uint8(0)
+		pos := 27 - i
+		if i >= 28 {
+			sel = 1
+			pos = 27 - (i - 28)
+		}
+		out[i] = Gather{SrcBit: uint8(64 - int(src)), DstSel: sel, DstPos: uint8(pos)}
+	}
+	return out
+}
+
+// PC2Gather returns the 48 bit moves from the combined 56-bit CD register
+// (C<<28 | D) into the fast-domain round-key pair (kA = word 0, kB = word
+// 1), composing permuted choice 2 with the kernel's field placement.
+func PC2Gather() [48]Gather {
+	var out [48]Gather
+	for k := 0; k < 8; k++ {
+		for off := 0; off < 6; off++ {
+			n := 6*k + fieldOrder[k][off] // 1-based round-key bit
+			out[n-1] = Gather{
+				SrcBit: uint8(56 - int(pc2Table[n-1])),
+				DstSel: uint8(k % 2),
+				DstPos: uint8(int(fieldShift[k]) + off),
+			}
+		}
+	}
+	return out
+}
+
+// KSShifts exposes the per-round key-schedule rotations.
+func KSShifts() [16]int {
+	var out [16]int
+	for i, s := range ksShifts {
+		out[i] = int(s)
+	}
+	return out
+}
+
+// PermOpSteps describes the shared IP/FP swap network for the baseline
+// kernel: each step is t=((a>>n)^b)&m; b^=t; a^=t<<n, applied to (r,l) or
+// (l,r) as flagged.
+type PermOpStep struct {
+	RFirst bool // operate on (r, l) rather than (l, r)
+	Shift  uint
+	Mask   uint32
+}
+
+// IPSteps returns the five swap-network steps of the initial permutation
+// (followed by l,r = rotl3(r), rotl3(l)).
+func IPSteps() []PermOpStep {
+	return []PermOpStep{
+		{true, 4, 0x0f0f0f0f},
+		{false, 16, 0x0000ffff},
+		{true, 2, 0x33333333},
+		{false, 8, 0x00ff00ff},
+		{true, 1, 0x55555555},
+	}
+}
+
+// FPSteps returns the five steps of the final permutation (preceded by
+// l,r = rotr3(r), rotr3(l)).
+func FPSteps() []PermOpStep {
+	return []PermOpStep{
+		{true, 1, 0x55555555},
+		{false, 8, 0x00ff00ff},
+		{true, 2, 0x33333333},
+		{false, 16, 0x0000ffff},
+		{true, 4, 0x0f0f0f0f},
+	}
+}

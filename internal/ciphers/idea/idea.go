@@ -1,0 +1,154 @@
+// Package idea implements the IDEA block cipher (Lai/Massey) from scratch:
+// 64-bit blocks, 128-bit keys, 8 rounds plus an output transform. Its
+// characteristic operation is multiplication modulo 2^16+1 (the MULMOD
+// instruction's semantics), which makes it the paper's most
+// multiplication-bound cipher.
+package idea
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"cryptoarch/internal/core"
+)
+
+// BlockSize and KeySize are fixed by the algorithm.
+const (
+	BlockSize = 8
+	KeySize   = 16
+	rounds    = 8
+	numKeys   = 6*rounds + 4 // 52
+)
+
+// IDEA is a keyed instance holding both encryption and decryption subkeys.
+type IDEA struct {
+	ek [numKeys]uint16
+	dk [numKeys]uint16
+}
+
+// New returns an IDEA instance keyed with a 16-byte key.
+func New(key []byte) (*IDEA, error) {
+	if len(key) != KeySize {
+		return nil, fmt.Errorf("idea: key must be %d bytes, got %d", KeySize, len(key))
+	}
+	c := &IDEA{}
+	expand(key, &c.ek)
+	invert(&c.ek, &c.dk)
+	return c, nil
+}
+
+// expand derives the 52 encryption subkeys: successive 16-bit slices of the
+// key, rotating the whole 128-bit key left by 25 bits after every 8
+// subkeys.
+func expand(key []byte, ek *[numKeys]uint16) {
+	hi := binary.BigEndian.Uint64(key[0:8])
+	lo := binary.BigEndian.Uint64(key[8:16])
+	for i := 0; i < numKeys; i++ {
+		if i != 0 && i%8 == 0 {
+			hi, lo = hi<<25|lo>>39, lo<<25|hi>>39
+		}
+		ek[i] = uint16(hi >> (48 - 16*(i%4)))
+		if i%8 >= 4 {
+			ek[i] = uint16(lo >> (48 - 16*(i%4)))
+		}
+	}
+}
+
+// mulInv computes the multiplicative inverse modulo 2^16+1 in the IDEA
+// zero-means-2^16 convention, via Fermat exponentiation (65537 is prime).
+func mulInv(x uint16) uint16 {
+	if x <= 1 {
+		return x // 0 and 1 are self-inverse
+	}
+	r := uint64(1)
+	b := uint64(x)
+	for e := 65537 - 2; e > 0; e >>= 1 {
+		if e&1 != 0 {
+			r = r * b % 65537
+		}
+		b = b * b % 65537
+	}
+	return uint16(r)
+}
+
+// addInv is the additive inverse mod 2^16.
+func addInv(x uint16) uint16 { return uint16(-int32(x)) }
+
+// invert derives decryption subkeys from encryption subkeys.
+func invert(ek, dk *[numKeys]uint16) {
+	p := numKeys
+	var out [numKeys]uint16
+	j := 0
+	put := func(v uint16) { out[j] = v; j++ }
+	// Output transform of encryption becomes round 1 input.
+	p -= 4
+	put(mulInv(ek[p]))
+	put(addInv(ek[p+1]))
+	put(addInv(ek[p+2]))
+	put(mulInv(ek[p+3]))
+	for r := 0; r < rounds; r++ {
+		p -= 2
+		put(ek[p])
+		put(ek[p+1])
+		p -= 4
+		put(mulInv(ek[p]))
+		if r == rounds-1 {
+			put(addInv(ek[p+1]))
+			put(addInv(ek[p+2]))
+		} else {
+			// Middle rounds: the x2/x3 swap folds into the key order.
+			put(addInv(ek[p+2]))
+			put(addInv(ek[p+1]))
+		}
+		put(mulInv(ek[p+3]))
+	}
+	*dk = out
+}
+
+// mul is IDEA multiplication mod 2^16+1 (shared with the MULMOD
+// instruction's semantics in internal/core).
+func mul(a, b uint16) uint16 { return uint16(core.MulMod(uint64(a), uint64(b))) }
+
+func crypt(dst, src []byte, k *[numKeys]uint16) {
+	x1 := binary.BigEndian.Uint16(src[0:])
+	x2 := binary.BigEndian.Uint16(src[2:])
+	x3 := binary.BigEndian.Uint16(src[4:])
+	x4 := binary.BigEndian.Uint16(src[6:])
+	p := 0
+	for r := 0; r < rounds; r++ {
+		x1 = mul(x1, k[p])
+		x2 += k[p+1]
+		x3 += k[p+2]
+		x4 = mul(x4, k[p+3])
+		t0 := mul(x1^x3, k[p+4])
+		t1 := mul(t0+(x2^x4), k[p+5])
+		t0 += t1
+		x1 ^= t1
+		x4 ^= t0
+		x2, x3 = x3^t1, x2^t0
+		p += 6
+	}
+	// Undo the final swap, then output transform.
+	x2, x3 = x3, x2
+	binary.BigEndian.PutUint16(dst[0:], mul(x1, k[p]))
+	binary.BigEndian.PutUint16(dst[2:], x2+k[p+1])
+	binary.BigEndian.PutUint16(dst[4:], x3+k[p+2])
+	binary.BigEndian.PutUint16(dst[6:], mul(x4, k[p+3]))
+}
+
+// BlockSize implements ciphers.Block.
+func (c *IDEA) BlockSize() int { return BlockSize }
+
+// Encrypt implements ciphers.Block.
+func (c *IDEA) Encrypt(dst, src []byte) { crypt(dst, src, &c.ek) }
+
+// Decrypt implements ciphers.Block: the same network keyed with the
+// inverted subkeys.
+func (c *IDEA) Decrypt(dst, src []byte) { crypt(dst, src, &c.dk) }
+
+// EncKeys exposes the encryption subkeys for the AXP64 kernels.
+func (c *IDEA) EncKeys() [numKeys]uint16 { return c.ek }
+
+// DecKeys exposes the decryption subkeys: running the same network with
+// them inverts the cipher, which is how the AXP64 decryption kernel works.
+func (c *IDEA) DecKeys() [numKeys]uint16 { return c.dk }

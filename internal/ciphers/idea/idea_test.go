@@ -1,0 +1,79 @@
+package idea
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"cryptoarch/internal/core"
+)
+
+func TestKnownAnswer(t *testing.T) {
+	// The classic IDEA vector: key 0001 0002 ... 0008,
+	// plaintext 0000 0001 0002 0003 -> ciphertext 11FB ED2B 0198 6DE5.
+	key := []byte{0, 1, 0, 2, 0, 3, 0, 4, 0, 5, 0, 6, 0, 7, 0, 8}
+	pt := []byte{0, 0, 0, 1, 0, 2, 0, 3}
+	want := []byte{0x11, 0xFB, 0xED, 0x2B, 0x01, 0x98, 0x6D, 0xE5}
+	c, err := New(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 8)
+	c.Encrypt(got, pt)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %x want %x", got, want)
+	}
+	back := make([]byte, 8)
+	c.Decrypt(back, got)
+	if !bytes.Equal(back, pt) {
+		t.Fatalf("decrypt: got %x want %x", back, pt)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 100; i++ {
+		key := make([]byte, 16)
+		pt := make([]byte, 8)
+		rng.Read(key)
+		rng.Read(pt)
+		c, err := New(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct := make([]byte, 8)
+		back := make([]byte, 8)
+		c.Encrypt(ct, pt)
+		c.Decrypt(back, ct)
+		if !bytes.Equal(back, pt) {
+			t.Fatalf("key %x pt %x: roundtrip failed (ct %x back %x)", key, pt, ct, back)
+		}
+	}
+}
+
+func TestMulInv(t *testing.T) {
+	// a (*) inv(a) must be 1 for every a, in the zero-means-2^16
+	// convention (0 is self-inverse: 2^16 * 2^16 = 1 mod 2^16+1).
+	for a := 0; a < 65536; a++ {
+		inv := mulInv(uint16(a))
+		got := core.MulMod(uint64(a), uint64(inv))
+		if got != 1 {
+			t.Fatalf("a=%d inv=%d product=%d", a, inv, got)
+		}
+	}
+}
+
+func TestKeyExpansionFirstKeys(t *testing.T) {
+	// The first 8 subkeys are the key itself, big-endian 16-bit words.
+	key := []byte{0, 1, 0, 2, 0, 3, 0, 4, 0, 5, 0, 6, 0, 7, 0, 8}
+	c, _ := New(key)
+	for i := 0; i < 8; i++ {
+		if c.ek[i] != uint16(i+1) {
+			t.Fatalf("ek[%d] = %d, want %d", i, c.ek[i], i+1)
+		}
+	}
+	// Subkey 8 comes after a 25-bit rotate: bits 25..40 of the key.
+	if c.ek[8] != 0x0400 {
+		t.Fatalf("ek[8] = %#x, want 0x0400", c.ek[8])
+	}
+}

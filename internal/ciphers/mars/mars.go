@@ -1,0 +1,271 @@
+// Package mars implements the MARS block cipher (IBM, AES finalist) for
+// 128-bit keys: a type-3 Feistel network with 8 rounds of unkeyed forward
+// mixing, a 16-round keyed cryptographic core built on the E-function (one
+// 512-entry S-box lookup, one 32-bit multiply, fixed and data-dependent
+// rotates), and 8 rounds of backwards mixing.
+//
+// Faithfulness note (also recorded in DESIGN.md): the official MARS S-box
+// is generated from SHA-1 digests of a fixed seed and the official test
+// vectors were not available offline, so this package is a
+// structure-faithful reconstruction: the S-box is a deterministic
+// pseudorandom 512-word table (SHA-256 counter mode), and the mixing-phase
+// byte schedule follows the spec's shape. Encryption and decryption are
+// exact inverses by construction, and the operation mix — which is what
+// the paper's experiments measure — matches the real MARS round for round.
+package mars
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
+
+// BlockSize and KeySize are the paper's configuration.
+const (
+	BlockSize  = 16
+	KeySize    = 16
+	coreRounds = 16
+	mixRounds  = 8
+	numKeys    = 40
+)
+
+// sbox is the 512-word MARS S-box; S0 is the first 256 words, S1 the rest.
+var sbox [512]uint32
+
+func init() {
+	// Deterministic pseudorandom fill (see the package comment).
+	var ctr [8]byte
+	idx := 0
+	for block := 0; idx < len(sbox); block++ {
+		binary.LittleEndian.PutUint64(ctr[:], uint64(block))
+		sum := sha256.Sum256(append([]byte("MARS-sbox-v1:"), ctr[:]...))
+		for off := 0; off+4 <= len(sum) && idx < len(sbox); off += 4 {
+			sbox[idx] = binary.LittleEndian.Uint32(sum[off:])
+			idx++
+		}
+	}
+}
+
+// Sbox exposes the 512-word table for the AXP64 kernels.
+func Sbox() *[512]uint32 { return &sbox }
+
+func s0(b byte) uint32 { return sbox[b] }
+func s1(b byte) uint32 { return sbox[256+int(b)] }
+
+// bFix is the table of constants used when fixing multiplication keys.
+var bFix = [4]uint32{0xa4a8d57b, 0x5b5d193b, 0xc8a8309b, 0x73f9a978}
+
+// BFix exposes the multiplication-key fixing constants for the AXP64 setup
+// program.
+func BFix() [4]uint32 { return bFix }
+
+// MARS is a keyed instance.
+type MARS struct {
+	k [numKeys]uint32
+}
+
+// New returns a MARS instance keyed with a 16-byte key.
+func New(key []byte) (*MARS, error) {
+	if len(key) != KeySize {
+		return nil, fmt.Errorf("mars: key must be %d bytes, got %d", KeySize, len(key))
+	}
+	m := &MARS{}
+	m.expand(key)
+	return m, nil
+}
+
+// expand is the amended MARS key expansion: a 15-word linear recurrence,
+// four S-box stirring passes per output group, and multiplication-key
+// fixing so every core multiplier is ≡ 3 (mod 4) with no long runs of
+// equal bits.
+func (m *MARS) expand(key []byte) {
+	var t [15]uint32
+	n := 4
+	for i := 0; i < n; i++ {
+		t[i] = binary.LittleEndian.Uint32(key[4*i:])
+	}
+	t[n] = uint32(n)
+	for j := 0; j < 4; j++ {
+		for i := 0; i < 15; i++ {
+			t[i] ^= bits.RotateLeft32(t[(i+8)%15]^t[(i+13)%15], 3) ^ uint32(4*i+j)
+		}
+		for pass := 0; pass < 4; pass++ {
+			for i := 0; i < 15; i++ {
+				t[i] = bits.RotateLeft32(t[i]+sbox[t[(i+14)%15]&0x1ff], 9)
+			}
+		}
+		for i := 0; i < 10; i++ {
+			m.k[10*j+i] = t[(4*i)%15]
+		}
+	}
+	// Fix the multiplication keys K[5], K[7], ..., K[35].
+	for i := 5; i <= 35; i += 2 {
+		j := m.k[i] & 3
+		w := m.k[i] | 3
+		mask := runMask(w)
+		r := m.k[i-1] & 0x1f
+		p := bits.RotateLeft32(bFix[j], int(r))
+		m.k[i] = w ^ (p & mask)
+	}
+}
+
+// runMask marks the interior bits (positions 2..30) of runs of ten or more
+// consecutive equal bits in w.
+func runMask(w uint32) uint32 {
+	var mask uint32
+	start := 0
+	for i := 1; i <= 32; i++ {
+		if i == 32 || (w>>uint(i))&1 != (w>>uint(start))&1 {
+			if i-start >= 10 {
+				for l := start + 1; l < i-1; l++ {
+					if l >= 2 && l <= 30 {
+						mask |= 1 << uint(l)
+					}
+				}
+			}
+			start = i
+		}
+	}
+	return mask
+}
+
+// Keys exposes the expanded key for the AXP64 kernels.
+func (m *MARS) Keys() [numKeys]uint32 { return m.k }
+
+// BlockSize implements ciphers.Block.
+func (m *MARS) BlockSize() int { return BlockSize }
+
+// Encrypt implements ciphers.Block.
+func (m *MARS) Encrypt(dst, src []byte) {
+	a := binary.LittleEndian.Uint32(src[0:]) + m.k[0]
+	b := binary.LittleEndian.Uint32(src[4:]) + m.k[1]
+	c := binary.LittleEndian.Uint32(src[8:]) + m.k[2]
+	d := binary.LittleEndian.Uint32(src[12:]) + m.k[3]
+
+	// Forward mixing: 8 unkeyed rounds of S-box mixing.
+	for i := 0; i < mixRounds; i++ {
+		b ^= s0(byte(a))
+		b += s1(byte(a >> 8))
+		c += s0(byte(a >> 16))
+		d ^= s1(byte(a >> 24))
+		a = bits.RotateLeft32(a, -24)
+		if i == 0 || i == 4 {
+			a += d
+		}
+		if i == 1 || i == 5 {
+			a += b
+		}
+		a, b, c, d = b, c, d, a
+	}
+
+	// Cryptographic core: 16 keyed rounds, forward mode then backwards
+	// mode.
+	for i := 0; i < coreRounds; i++ {
+		l, md, r := e(a, m.k[2*i+4], m.k[2*i+5])
+		c += md
+		if i < coreRounds/2 {
+			b += l
+			d ^= r
+		} else {
+			d += l
+			b ^= r
+		}
+		a = bits.RotateLeft32(a, 13)
+		a, b, c, d = b, c, d, a
+	}
+
+	// Backwards mixing: 8 unkeyed rounds mirroring the forward phase.
+	for i := 0; i < mixRounds; i++ {
+		if i == 1 || i == 5 {
+			a -= d
+		}
+		if i == 2 || i == 6 {
+			a -= b
+		}
+		b ^= s1(byte(a))
+		c -= s0(byte(a >> 24))
+		d -= s1(byte(a >> 16))
+		d ^= s0(byte(a >> 8))
+		a = bits.RotateLeft32(a, 24)
+		a, b, c, d = b, c, d, a
+	}
+
+	binary.LittleEndian.PutUint32(dst[0:], a-m.k[36])
+	binary.LittleEndian.PutUint32(dst[4:], b-m.k[37])
+	binary.LittleEndian.PutUint32(dst[8:], c-m.k[38])
+	binary.LittleEndian.PutUint32(dst[12:], d-m.k[39])
+}
+
+// e is the E-function used by Encrypt/Decrypt.
+func e(in, k1, k2 uint32) (l, md, r uint32) {
+	md = in + k1
+	r = bits.RotateLeft32(bits.RotateLeft32(in, 13)*k2, 10)
+	l = sbox[md&0x1ff]
+	md = bits.RotateLeft32(md, int(r)&0x1f)
+	l ^= r
+	r = bits.RotateLeft32(r, 5)
+	l ^= r
+	l = bits.RotateLeft32(l, int(r)&0x1f)
+	return l, md, r
+}
+
+// Decrypt implements ciphers.Block as the exact inverse of Encrypt.
+func (m *MARS) Decrypt(dst, src []byte) {
+	a := binary.LittleEndian.Uint32(src[0:]) + m.k[36]
+	b := binary.LittleEndian.Uint32(src[4:]) + m.k[37]
+	c := binary.LittleEndian.Uint32(src[8:]) + m.k[38]
+	d := binary.LittleEndian.Uint32(src[12:]) + m.k[39]
+
+	// Invert backwards mixing.
+	for i := mixRounds - 1; i >= 0; i-- {
+		a, b, c, d = d, a, b, c // undo role rotation
+		a = bits.RotateLeft32(a, -24)
+		d ^= s0(byte(a >> 8))
+		d += s1(byte(a >> 16))
+		c += s0(byte(a >> 24))
+		b ^= s1(byte(a))
+		if i == 2 || i == 6 {
+			a += b
+		}
+		if i == 1 || i == 5 {
+			a += d
+		}
+	}
+
+	// Invert the core.
+	for i := coreRounds - 1; i >= 0; i-- {
+		a, b, c, d = d, a, b, c
+		a = bits.RotateLeft32(a, -13)
+		l, md, r := e(a, m.k[2*i+4], m.k[2*i+5])
+		if i < coreRounds/2 {
+			d ^= r
+			b -= l
+		} else {
+			b ^= r
+			d -= l
+		}
+		c -= md
+	}
+
+	// Invert forward mixing.
+	for i := mixRounds - 1; i >= 0; i-- {
+		a, b, c, d = d, a, b, c
+		if i == 1 || i == 5 {
+			a -= b
+		}
+		if i == 0 || i == 4 {
+			a -= d
+		}
+		a = bits.RotateLeft32(a, 24)
+		d ^= s1(byte(a >> 24))
+		c -= s0(byte(a >> 16))
+		b -= s1(byte(a >> 8))
+		b ^= s0(byte(a))
+	}
+
+	binary.LittleEndian.PutUint32(dst[0:], a-m.k[0])
+	binary.LittleEndian.PutUint32(dst[4:], b-m.k[1])
+	binary.LittleEndian.PutUint32(dst[8:], c-m.k[2])
+	binary.LittleEndian.PutUint32(dst[12:], d-m.k[3])
+}

@@ -1,0 +1,120 @@
+package mars
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for i := 0; i < 200; i++ {
+		key := make([]byte, 16)
+		pt := make([]byte, 16)
+		rng.Read(key)
+		rng.Read(pt)
+		m, err := New(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct := make([]byte, 16)
+		back := make([]byte, 16)
+		m.Encrypt(ct, pt)
+		m.Decrypt(back, ct)
+		if !bytes.Equal(back, pt) {
+			t.Fatalf("key %x pt %x: roundtrip failed (ct %x back %x)", key, pt, ct, back)
+		}
+		if bytes.Equal(ct, pt) {
+			t.Fatalf("ciphertext equals plaintext")
+		}
+	}
+}
+
+func TestMultiplicationKeysFixed(t *testing.T) {
+	// Every core multiplier K[5], K[7], ..., K[35] must be ≡ 3 (mod 4)
+	// and contain no interior run of ten or more equal bits.
+	rng := rand.New(rand.NewSource(62))
+	for trial := 0; trial < 50; trial++ {
+		key := make([]byte, 16)
+		rng.Read(key)
+		m, _ := New(key)
+		for i := 5; i <= 35; i += 2 {
+			if m.k[i]&3 != 3 {
+				t.Fatalf("K[%d] = %08x not ≡ 3 mod 4", i, m.k[i])
+			}
+		}
+	}
+}
+
+func TestAvalanche(t *testing.T) {
+	// Flipping any single plaintext bit should flip roughly half the
+	// ciphertext bits (diffusion; the paper's strength criterion).
+	key := []byte("0123456789abcdef")
+	m, _ := New(key)
+	pt := make([]byte, 16)
+	base := make([]byte, 16)
+	m.Encrypt(base, pt)
+	total := 0
+	trials := 0
+	for bit := 0; bit < 128; bit += 7 {
+		mod := make([]byte, 16)
+		copy(mod, pt)
+		mod[bit/8] ^= 1 << uint(bit%8)
+		ct := make([]byte, 16)
+		m.Encrypt(ct, mod)
+		diff := 0
+		for i := range ct {
+			b := ct[i] ^ base[i]
+			for b != 0 {
+				diff += int(b & 1)
+				b >>= 1
+			}
+		}
+		total += diff
+		trials++
+	}
+	avg := float64(total) / float64(trials)
+	if avg < 48 || avg > 80 {
+		t.Fatalf("average avalanche %f bits of 128; diffusion broken", avg)
+	}
+}
+
+func TestRunMask(t *testing.T) {
+	// A word with a long run of zeros has interior run bits masked.
+	if runMask(0xffffffff) == 0 {
+		t.Error("all-ones word should have a masked interior")
+	}
+	if runMask(0x55555555) != 0 {
+		t.Error("alternating bits have no runs")
+	}
+	// Ten zeros at positions 4..13: interior is 5..12.
+	w := ^uint32(0x3ff0)
+	m := runMask(w)
+	if m == 0 {
+		t.Fatal("10-bit run not detected")
+	}
+	if m&(1<<4) != 0 || m&(1<<13) != 0 {
+		t.Error("run endpoints must not be masked")
+	}
+	if m&(1<<8) == 0 {
+		t.Error("run interior must be masked")
+	}
+}
+
+func TestSboxDeterministic(t *testing.T) {
+	s := Sbox()
+	if s[0] == 0 && s[1] == 0 {
+		t.Fatal("sbox not initialized")
+	}
+	// Rough balance check: ones density of the table near 50%.
+	ones := 0
+	for _, w := range s {
+		for b := w; b != 0; b >>= 1 {
+			ones += int(b & 1)
+		}
+	}
+	frac := float64(ones) / float64(512*32)
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("sbox ones density %f; not balanced", frac)
+	}
+}

@@ -1,0 +1,81 @@
+package rc4
+
+import (
+	"bytes"
+	stdrc4 "crypto/rc4"
+	"math/rand"
+	"testing"
+)
+
+func TestKnownAnswer(t *testing.T) {
+	// Classic vector: key "Key", plaintext "Plaintext".
+	c, err := New([]byte("Key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := []byte("Plaintext")
+	got := make([]byte, len(src))
+	c.XORKeyStream(got, src)
+	want := []byte{0xBB, 0xF3, 0x16, 0xE8, 0xD9, 0x40, 0xAF, 0x0A, 0xD3}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %x want %x", got, want)
+	}
+}
+
+func TestAgainstStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 100; i++ {
+		key := make([]byte, 16)
+		rng.Read(key)
+		data := make([]byte, 1+rng.Intn(500))
+		rng.Read(data)
+		ours, err := New(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := stdrc4.NewCipher(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, len(data))
+		want := make([]byte, len(data))
+		ours.XORKeyStream(got, data)
+		ref.XORKeyStream(want, data)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("key %x: keystream mismatch", key)
+		}
+	}
+}
+
+func TestIncrementalMatchesOneShot(t *testing.T) {
+	key := []byte("0123456789abcdef")
+	a, _ := New(key)
+	b, _ := New(key)
+	data := make([]byte, 256)
+	one := make([]byte, 256)
+	a.XORKeyStream(one, data)
+	var inc []byte
+	buf := data
+	for len(buf) > 0 {
+		n := 7
+		if n > len(buf) {
+			n = len(buf)
+		}
+		out := make([]byte, n)
+		b.XORKeyStream(out, buf[:n])
+		inc = append(inc, out...)
+		buf = buf[n:]
+	}
+	if !bytes.Equal(one, inc) {
+		t.Fatal("incremental keystream diverges")
+	}
+}
+
+func TestKeyLengths(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("empty key accepted")
+	}
+	if _, err := New(make([]byte, 257)); err == nil {
+		t.Error("257-byte key accepted")
+	}
+}

@@ -1,0 +1,114 @@
+// Package rc6 implements the RC6-32/20/16 block cipher (Rivest et al., AES
+// finalist) from scratch: 128-bit blocks, 128-bit keys, 20 rounds. RC6's
+// kernel is dominated by 32-bit multiplies and data-dependent rotates,
+// making it (with IDEA) one of the paper's "computational" ciphers.
+//
+// Note: the paper's Table 1 lists 18 rounds for RC6; the algorithm as
+// submitted to AES specifies 20, which is what this package implements.
+package rc6
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
+
+// Algorithm parameters (w=32, r=20, b=16).
+const (
+	BlockSize = 16
+	KeySize   = 16
+	Rounds    = 20
+	numKeys   = 2*Rounds + 4 // 44
+)
+
+// Magic constants P32 (odd((e-2)<<32)) and Q32 (odd((phi-1)<<32)).
+const (
+	p32 = 0xB7E15163
+	q32 = 0x9E3779B9
+)
+
+const lgw = 5 // log2(32)
+
+// RC6 is a keyed instance.
+type RC6 struct {
+	s [numKeys]uint32
+}
+
+// New returns an RC6 instance keyed with a 16-byte key.
+func New(key []byte) (*RC6, error) {
+	if len(key) != KeySize {
+		return nil, fmt.Errorf("rc6: key must be %d bytes, got %d", KeySize, len(key))
+	}
+	c := &RC6{}
+	var l [4]uint32
+	for i := range l {
+		l[i] = binary.LittleEndian.Uint32(key[4*i:])
+	}
+	c.s[0] = p32
+	for i := 1; i < numKeys; i++ {
+		c.s[i] = c.s[i-1] + q32
+	}
+	var a, b uint32
+	i, j := 0, 0
+	for k := 0; k < 3*numKeys; k++ {
+		a = bits.RotateLeft32(c.s[i]+a+b, 3)
+		c.s[i] = a
+		b = bits.RotateLeft32(l[j]+a+b, int(a+b)&31)
+		l[j] = b
+		i = (i + 1) % numKeys
+		j = (j + 1) % len(l)
+	}
+	return c, nil
+}
+
+// Keys exposes the round-key table for the AXP64 kernels.
+func (c *RC6) Keys() [numKeys]uint32 { return c.s }
+
+// BlockSize implements ciphers.Block.
+func (c *RC6) BlockSize() int { return BlockSize }
+
+// Encrypt implements ciphers.Block.
+func (c *RC6) Encrypt(dst, src []byte) {
+	a := binary.LittleEndian.Uint32(src[0:])
+	b := binary.LittleEndian.Uint32(src[4:])
+	cc := binary.LittleEndian.Uint32(src[8:])
+	d := binary.LittleEndian.Uint32(src[12:])
+	b += c.s[0]
+	d += c.s[1]
+	for i := 1; i <= Rounds; i++ {
+		t := bits.RotateLeft32(b*(2*b+1), lgw)
+		u := bits.RotateLeft32(d*(2*d+1), lgw)
+		a = bits.RotateLeft32(a^t, int(u)&31) + c.s[2*i]
+		cc = bits.RotateLeft32(cc^u, int(t)&31) + c.s[2*i+1]
+		a, b, cc, d = b, cc, d, a
+	}
+	a += c.s[2*Rounds+2]
+	cc += c.s[2*Rounds+3]
+	binary.LittleEndian.PutUint32(dst[0:], a)
+	binary.LittleEndian.PutUint32(dst[4:], b)
+	binary.LittleEndian.PutUint32(dst[8:], cc)
+	binary.LittleEndian.PutUint32(dst[12:], d)
+}
+
+// Decrypt implements ciphers.Block.
+func (c *RC6) Decrypt(dst, src []byte) {
+	a := binary.LittleEndian.Uint32(src[0:])
+	b := binary.LittleEndian.Uint32(src[4:])
+	cc := binary.LittleEndian.Uint32(src[8:])
+	d := binary.LittleEndian.Uint32(src[12:])
+	cc -= c.s[2*Rounds+3]
+	a -= c.s[2*Rounds+2]
+	for i := Rounds; i >= 1; i-- {
+		a, b, cc, d = d, a, b, cc
+		u := bits.RotateLeft32(d*(2*d+1), lgw)
+		t := bits.RotateLeft32(b*(2*b+1), lgw)
+		cc = bits.RotateLeft32(cc-c.s[2*i+1], -(int(t)&31)) ^ u
+		a = bits.RotateLeft32(a-c.s[2*i], -(int(u)&31)) ^ t
+	}
+	d -= c.s[1]
+	b -= c.s[0]
+	binary.LittleEndian.PutUint32(dst[0:], a)
+	binary.LittleEndian.PutUint32(dst[4:], b)
+	binary.LittleEndian.PutUint32(dst[8:], cc)
+	binary.LittleEndian.PutUint32(dst[12:], d)
+}

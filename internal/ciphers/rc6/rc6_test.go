@@ -1,0 +1,76 @@
+package rc6
+
+import (
+	"bytes"
+	"encoding/hex"
+	"math/rand"
+	"testing"
+)
+
+// Vectors from the RC6 AES submission.
+var kats = []struct{ key, pt, ct string }{
+	{
+		"00000000000000000000000000000000",
+		"00000000000000000000000000000000",
+		"8fc3a53656b1f778c129df4e9848a41e",
+	},
+	{
+		"0123456789abcdef0112233445566778",
+		"02132435465768798a9bacbdcedfe0f1",
+		"524e192f4715c6231f51f6367ea43f18",
+	},
+}
+
+func TestKnownAnswers(t *testing.T) {
+	for _, v := range kats {
+		key, _ := hex.DecodeString(v.key)
+		pt, _ := hex.DecodeString(v.pt)
+		want, _ := hex.DecodeString(v.ct)
+		c, err := New(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 16)
+		c.Encrypt(got, pt)
+		if !bytes.Equal(got, want) {
+			t.Errorf("key %s: got %x want %s", v.key, got, v.ct)
+		}
+		back := make([]byte, 16)
+		c.Decrypt(back, got)
+		if !bytes.Equal(back, pt) {
+			t.Errorf("key %s: decrypt mismatch", v.key)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 100; i++ {
+		key := make([]byte, 16)
+		pt := make([]byte, 16)
+		rng.Read(key)
+		rng.Read(pt)
+		c, err := New(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct := make([]byte, 16)
+		back := make([]byte, 16)
+		c.Encrypt(ct, pt)
+		c.Decrypt(back, ct)
+		if !bytes.Equal(back, pt) {
+			t.Fatalf("key %x pt %x: roundtrip failed", key, pt)
+		}
+	}
+}
+
+func TestKeySchedule(t *testing.T) {
+	c, _ := New(make([]byte, 16))
+	if len(c.s) != 44 {
+		t.Fatalf("expected 44 round keys, got %d", len(c.s))
+	}
+	// The mixed schedule must differ from the raw arithmetic progression.
+	if c.s[0] == p32 {
+		t.Fatal("key schedule mixing did not run")
+	}
+}

@@ -1,0 +1,66 @@
+package ciphers
+
+import (
+	"cryptoarch/internal/ciphers/blowfish"
+	"cryptoarch/internal/ciphers/des"
+	"cryptoarch/internal/ciphers/idea"
+	"cryptoarch/internal/ciphers/mars"
+	"cryptoarch/internal/ciphers/rc4"
+	"cryptoarch/internal/ciphers/rc6"
+	"cryptoarch/internal/ciphers/rijndael"
+	"cryptoarch/internal/ciphers/twofish"
+)
+
+// The paper's Table 1. Key sizes are in bits as configured for the
+// experiments; rounds are kernel iterations per block.
+func init() {
+	Register(&Cipher{
+		Info: Info{Name: "3des", KeyBits: 168, BlockBits: 64, Rounds: 48,
+			Author: "CryptSoft", Example: "SSL, SSH"},
+		NewBlock: func(key []byte) (Block, error) { return des.New3(key) },
+	})
+	Register(&Cipher{
+		Info: Info{Name: "blowfish", KeyBits: 128, BlockBits: 64, Rounds: 16,
+			Author: "CryptSoft", Example: "Norton Utilities"},
+		NewBlock: func(key []byte) (Block, error) { return blowfish.New(key) },
+	})
+	Register(&Cipher{
+		Info: Info{Name: "idea", KeyBits: 128, BlockBits: 64, Rounds: 8,
+			Author: "Ascom", Example: "PGP, SSH"},
+		NewBlock: func(key []byte) (Block, error) { return idea.New(key) },
+	})
+	Register(&Cipher{
+		Info: Info{Name: "mars", KeyBits: 128, BlockBits: 128, Rounds: 16,
+			Author: "IBM", Example: "AES Candidate"},
+		NewBlock: func(key []byte) (Block, error) { return mars.New(key) },
+	})
+	Register(&Cipher{
+		Info: Info{Name: "rc4", KeyBits: 128, BlockBits: 8, Rounds: 1,
+			Author: "CryptSoft", Example: "SSL", Stream: true},
+		NewStream: func(key []byte) (Stream, error) { return rc4.New(key) },
+	})
+	Register(&Cipher{
+		Info: Info{Name: "rc6", KeyBits: 128, BlockBits: 128, Rounds: rc6.Rounds,
+			Author: "RSA Security", Example: "AES Candidate"},
+		NewBlock: func(key []byte) (Block, error) { return rc6.New(key) },
+	})
+	Register(&Cipher{
+		Info: Info{Name: "rijndael", KeyBits: 128, BlockBits: 128, Rounds: 10,
+			Author: "Rijmen", Example: "AES Candidate"},
+		NewBlock: func(key []byte) (Block, error) { return rijndael.New(key) },
+	})
+	Register(&Cipher{
+		Info: Info{Name: "twofish", KeyBits: 128, BlockBits: 128, Rounds: 16,
+			Author: "Counterpane", Example: "AES Candidate"},
+		NewBlock: func(key []byte) (Block, error) { return twofish.New(key) },
+	})
+}
+
+// KeyBytes returns the key length in bytes used for experiments with the
+// named cipher.
+func (c *Cipher) KeyBytes() int {
+	if c.Info.Name == "3des" {
+		return 24
+	}
+	return c.Info.KeyBits / 8
+}

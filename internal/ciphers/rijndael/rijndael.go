@@ -1,0 +1,284 @@
+// Package rijndael implements Rijndael (AES-128: 128-bit block, 128-bit
+// key, 10 rounds) from scratch. The S-box is derived from the GF(2^8)
+// multiplicative inverse and affine transform rather than embedded, and the
+// four 256x32-bit T-tables used by the fast path (and by the AXP64 kernels)
+// are built from it.
+package rijndael
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// BlockSize and KeySize are fixed at the AES-128 configuration studied in
+// the paper.
+const (
+	BlockSize = 16
+	KeySize   = 16
+	rounds    = 10
+)
+
+// GF(2^8) arithmetic modulo the Rijndael polynomial x^8+x^4+x^3+x+1.
+const poly = 0x11b
+
+func gfMul(a, b byte) byte {
+	var p byte
+	for b != 0 {
+		if b&1 != 0 {
+			p ^= a
+		}
+		hi := a & 0x80
+		a <<= 1
+		if hi != 0 {
+			a ^= byte(poly & 0xff)
+		}
+		b >>= 1
+	}
+	return p
+}
+
+var (
+	sbox    [256]byte
+	invSbox [256]byte
+	// te[t][x] are the encryption T-tables: te0[x] = (2*S[x], S[x], S[x],
+	// 3*S[x]) packed little-endian; te1..te3 are byte rotations of te0.
+	te [4][256]uint32
+	// td[t][x] are the decryption T-tables (InvMixColumns of the inverse
+	// S-box), used by the equivalent inverse cipher and its AXP64 kernel.
+	td [4][256]uint32
+	// rcon holds the key-schedule round constants.
+	rcon [rounds + 1]byte
+)
+
+func rotl8(b byte, n uint) byte { return b<<n | b>>(8-n) }
+
+func init() {
+	// Multiplicative inverses via brute force (8-bit domain, init-time).
+	var inv [256]byte
+	for a := 1; a < 256; a++ {
+		for b := 1; b < 256; b++ {
+			if gfMul(byte(a), byte(b)) == 1 {
+				inv[a] = byte(b)
+				break
+			}
+		}
+	}
+	for x := 0; x < 256; x++ {
+		b := inv[x]
+		s := b ^ rotl8(b, 1) ^ rotl8(b, 2) ^ rotl8(b, 3) ^ rotl8(b, 4) ^ 0x63
+		sbox[x] = s
+		invSbox[s] = byte(x)
+	}
+	if sbox[0x00] != 0x63 || sbox[0x01] != 0x7c || sbox[0x53] != 0xed {
+		panic(fmt.Sprintf("rijndael: S-box derivation wrong: %02x %02x %02x",
+			sbox[0], sbox[1], sbox[0x53]))
+	}
+	for x := 0; x < 256; x++ {
+		s := sbox[x]
+		w := uint32(gfMul(s, 2)) | uint32(s)<<8 | uint32(s)<<16 | uint32(gfMul(s, 3))<<24
+		te[0][x] = w
+		te[1][x] = w<<8 | w>>24
+		te[2][x] = w<<16 | w>>16
+		te[3][x] = w<<24 | w>>8
+	}
+	for x := 0; x < 256; x++ {
+		s := invSbox[x]
+		w := uint32(gfMul(s, 14)) | uint32(gfMul(s, 9))<<8 |
+			uint32(gfMul(s, 13))<<16 | uint32(gfMul(s, 11))<<24
+		td[0][x] = w
+		td[1][x] = w<<8 | w>>24
+		td[2][x] = w<<16 | w>>16
+		td[3][x] = w<<24 | w>>8
+	}
+	c := byte(1)
+	for i := 1; i <= rounds; i++ {
+		rcon[i] = c
+		c = gfMul(c, 2)
+	}
+}
+
+// imcWord applies InvMixColumns to one little-endian-packed column.
+func imcWord(w uint32) uint32 {
+	a0, a1, a2, a3 := byte(w), byte(w>>8), byte(w>>16), byte(w>>24)
+	return uint32(gfMul(a0, 14)^gfMul(a1, 11)^gfMul(a2, 13)^gfMul(a3, 9)) |
+		uint32(gfMul(a0, 9)^gfMul(a1, 14)^gfMul(a2, 11)^gfMul(a3, 13))<<8 |
+		uint32(gfMul(a0, 13)^gfMul(a1, 9)^gfMul(a2, 14)^gfMul(a3, 11))<<16 |
+		uint32(gfMul(a0, 11)^gfMul(a1, 13)^gfMul(a2, 9)^gfMul(a3, 14))<<24
+}
+
+// Rijndael is a keyed AES-128 instance.
+type Rijndael struct {
+	rk [4 * (rounds + 1)]uint32 // encryption round keys, little-endian words
+}
+
+// New returns an AES-128 instance.
+func New(key []byte) (*Rijndael, error) {
+	if len(key) != KeySize {
+		return nil, fmt.Errorf("rijndael: key must be %d bytes, got %d", KeySize, len(key))
+	}
+	r := &Rijndael{}
+	// Round keys as little-endian words: byte 0 of the column is the low
+	// byte. (FIPS-197 writes columns big-endian; the layouts are
+	// equivalent as long as the tables match, and little-endian matches
+	// the AXP64 kernels' LDL.)
+	for i := 0; i < 4; i++ {
+		r.rk[i] = binary.LittleEndian.Uint32(key[4*i:])
+	}
+	for i := 4; i < len(r.rk); i++ {
+		t := r.rk[i-1]
+		if i%4 == 0 {
+			// RotWord then SubWord in the little-endian layout:
+			// bytes (b0,b1,b2,b3) -> (b1,b2,b3,b0) is a right
+			// rotation of the word by 8.
+			t = t>>8 | t<<24
+			t = uint32(sbox[t&0xff]) | uint32(sbox[t>>8&0xff])<<8 |
+				uint32(sbox[t>>16&0xff])<<16 | uint32(sbox[t>>24])<<24
+			t ^= uint32(rcon[i/4])
+		}
+		r.rk[i] = r.rk[i-4] ^ t
+	}
+	return r, nil
+}
+
+// RoundKeys exposes the expanded key for the AXP64 kernels.
+func (r *Rijndael) RoundKeys() []uint32 { return append([]uint32(nil), r.rk[:]...) }
+
+// DecRoundKeys returns the equivalent-inverse-cipher key schedule: round
+// keys reversed, with InvMixColumns applied to the middle rounds.
+func (r *Rijndael) DecRoundKeys() []uint32 {
+	dk := make([]uint32, len(r.rk))
+	for i := 0; i <= rounds; i++ {
+		src := r.rk[4*(rounds-i) : 4*(rounds-i)+4]
+		for w := 0; w < 4; w++ {
+			v := src[w]
+			if i != 0 && i != rounds {
+				v = imcWord(v)
+			}
+			dk[4*i+w] = v
+		}
+	}
+	return dk
+}
+
+// Tables exposes the four T-tables for the AXP64 kernels.
+func Tables() *[4][256]uint32 { return &te }
+
+// DecTables exposes the four inverse T-tables.
+func DecTables() *[4][256]uint32 { return &td }
+
+// Sbox exposes the S-box (for the kernel's last round and key setup).
+func Sbox() *[256]byte { return &sbox }
+
+// InvSbox exposes the inverse S-box (for the decryption kernel).
+func InvSbox() *[256]byte { return &invSbox }
+
+// DecryptFast decrypts one block via the equivalent inverse cipher (Td
+// tables); the AXP64 decryption kernel mirrors this code path.
+func (r *Rijndael) DecryptFast(dst, src []byte) {
+	dk := r.DecRoundKeys()
+	s0 := binary.LittleEndian.Uint32(src[0:]) ^ dk[0]
+	s1 := binary.LittleEndian.Uint32(src[4:]) ^ dk[1]
+	s2 := binary.LittleEndian.Uint32(src[8:]) ^ dk[2]
+	s3 := binary.LittleEndian.Uint32(src[12:]) ^ dk[3]
+	k := 4
+	for round := 1; round < rounds; round++ {
+		t0 := td[0][s0&0xff] ^ td[1][s3>>8&0xff] ^ td[2][s2>>16&0xff] ^ td[3][s1>>24] ^ dk[k]
+		t1 := td[0][s1&0xff] ^ td[1][s0>>8&0xff] ^ td[2][s3>>16&0xff] ^ td[3][s2>>24] ^ dk[k+1]
+		t2 := td[0][s2&0xff] ^ td[1][s1>>8&0xff] ^ td[2][s0>>16&0xff] ^ td[3][s3>>24] ^ dk[k+2]
+		t3 := td[0][s3&0xff] ^ td[1][s2>>8&0xff] ^ td[2][s1>>16&0xff] ^ td[3][s0>>24] ^ dk[k+3]
+		s0, s1, s2, s3 = t0, t1, t2, t3
+		k += 4
+	}
+	is := &invSbox
+	u0 := uint32(is[s0&0xff]) | uint32(is[s3>>8&0xff])<<8 | uint32(is[s2>>16&0xff])<<16 | uint32(is[s1>>24])<<24
+	u1 := uint32(is[s1&0xff]) | uint32(is[s0>>8&0xff])<<8 | uint32(is[s3>>16&0xff])<<16 | uint32(is[s2>>24])<<24
+	u2 := uint32(is[s2&0xff]) | uint32(is[s1>>8&0xff])<<8 | uint32(is[s0>>16&0xff])<<16 | uint32(is[s3>>24])<<24
+	u3 := uint32(is[s3&0xff]) | uint32(is[s2>>8&0xff])<<8 | uint32(is[s1>>16&0xff])<<16 | uint32(is[s0>>24])<<24
+	binary.LittleEndian.PutUint32(dst[0:], u0^dk[k])
+	binary.LittleEndian.PutUint32(dst[4:], u1^dk[k+1])
+	binary.LittleEndian.PutUint32(dst[8:], u2^dk[k+2])
+	binary.LittleEndian.PutUint32(dst[12:], u3^dk[k+3])
+}
+
+// BlockSize implements ciphers.Block.
+func (r *Rijndael) BlockSize() int { return BlockSize }
+
+// Encrypt implements ciphers.Block via the T-table fast path, which the
+// AXP64 kernels mirror: four table lookups and four XORs per column per
+// round.
+func (r *Rijndael) Encrypt(dst, src []byte) {
+	s0 := binary.LittleEndian.Uint32(src[0:]) ^ r.rk[0]
+	s1 := binary.LittleEndian.Uint32(src[4:]) ^ r.rk[1]
+	s2 := binary.LittleEndian.Uint32(src[8:]) ^ r.rk[2]
+	s3 := binary.LittleEndian.Uint32(src[12:]) ^ r.rk[3]
+	k := 4
+	for round := 1; round < rounds; round++ {
+		t0 := te[0][s0&0xff] ^ te[1][s1>>8&0xff] ^ te[2][s2>>16&0xff] ^ te[3][s3>>24] ^ r.rk[k]
+		t1 := te[0][s1&0xff] ^ te[1][s2>>8&0xff] ^ te[2][s3>>16&0xff] ^ te[3][s0>>24] ^ r.rk[k+1]
+		t2 := te[0][s2&0xff] ^ te[1][s3>>8&0xff] ^ te[2][s0>>16&0xff] ^ te[3][s1>>24] ^ r.rk[k+2]
+		t3 := te[0][s3&0xff] ^ te[1][s0>>8&0xff] ^ te[2][s1>>16&0xff] ^ te[3][s2>>24] ^ r.rk[k+3]
+		s0, s1, s2, s3 = t0, t1, t2, t3
+		k += 4
+	}
+	// Final round: SubBytes + ShiftRows, no MixColumns.
+	u0 := uint32(sbox[s0&0xff]) | uint32(sbox[s1>>8&0xff])<<8 | uint32(sbox[s2>>16&0xff])<<16 | uint32(sbox[s3>>24])<<24
+	u1 := uint32(sbox[s1&0xff]) | uint32(sbox[s2>>8&0xff])<<8 | uint32(sbox[s3>>16&0xff])<<16 | uint32(sbox[s0>>24])<<24
+	u2 := uint32(sbox[s2&0xff]) | uint32(sbox[s3>>8&0xff])<<8 | uint32(sbox[s0>>16&0xff])<<16 | uint32(sbox[s1>>24])<<24
+	u3 := uint32(sbox[s3&0xff]) | uint32(sbox[s0>>8&0xff])<<8 | uint32(sbox[s1>>16&0xff])<<16 | uint32(sbox[s2>>24])<<24
+	binary.LittleEndian.PutUint32(dst[0:], u0^r.rk[k])
+	binary.LittleEndian.PutUint32(dst[4:], u1^r.rk[k+1])
+	binary.LittleEndian.PutUint32(dst[8:], u2^r.rk[k+2])
+	binary.LittleEndian.PutUint32(dst[12:], u3^r.rk[k+3])
+}
+
+// Decrypt implements ciphers.Block via the straightforward inverse cipher
+// (the golden reference does not need to be fast).
+func (r *Rijndael) Decrypt(dst, src []byte) {
+	var st [16]byte
+	copy(st[:], src)
+	xorRK := func(round int) {
+		for c := 0; c < 4; c++ {
+			w := r.rk[4*round+c]
+			st[4*c+0] ^= byte(w)
+			st[4*c+1] ^= byte(w >> 8)
+			st[4*c+2] ^= byte(w >> 16)
+			st[4*c+3] ^= byte(w >> 24)
+		}
+	}
+	invShiftRows := func() {
+		// Row r is rotated right by r positions (bytes 4c+r across
+		// columns c).
+		var t [16]byte
+		copy(t[:], st[:])
+		for row := 1; row < 4; row++ {
+			for c := 0; c < 4; c++ {
+				st[4*((c+row)%4)+row] = t[4*c+row]
+			}
+		}
+	}
+	invSubBytes := func() {
+		for i := range st {
+			st[i] = invSbox[st[i]]
+		}
+	}
+	invMixColumns := func() {
+		for c := 0; c < 4; c++ {
+			a0, a1, a2, a3 := st[4*c], st[4*c+1], st[4*c+2], st[4*c+3]
+			st[4*c+0] = gfMul(a0, 14) ^ gfMul(a1, 11) ^ gfMul(a2, 13) ^ gfMul(a3, 9)
+			st[4*c+1] = gfMul(a0, 9) ^ gfMul(a1, 14) ^ gfMul(a2, 11) ^ gfMul(a3, 13)
+			st[4*c+2] = gfMul(a0, 13) ^ gfMul(a1, 9) ^ gfMul(a2, 14) ^ gfMul(a3, 11)
+			st[4*c+3] = gfMul(a0, 11) ^ gfMul(a1, 13) ^ gfMul(a2, 9) ^ gfMul(a3, 14)
+		}
+	}
+	xorRK(rounds)
+	invShiftRows()
+	invSubBytes()
+	for round := rounds - 1; round >= 1; round-- {
+		xorRK(round)
+		invMixColumns()
+		invShiftRows()
+		invSubBytes()
+	}
+	xorRK(0)
+	copy(dst, st[:])
+}

@@ -1,0 +1,97 @@
+package rijndael
+
+import (
+	"bytes"
+	stdaes "crypto/aes"
+	"encoding/hex"
+	"math/rand"
+	"testing"
+)
+
+func TestFIPS197KnownAnswer(t *testing.T) {
+	key, _ := hex.DecodeString("000102030405060708090a0b0c0d0e0f")
+	pt, _ := hex.DecodeString("00112233445566778899aabbccddeeff")
+	want, _ := hex.DecodeString("69c4e0d86a7b0430d8cdb78070b4c55a")
+	r, err := New(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 16)
+	r.Encrypt(got, pt)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %x want %x", got, want)
+	}
+	back := make([]byte, 16)
+	r.Decrypt(back, got)
+	if !bytes.Equal(back, pt) {
+		t.Fatalf("decrypt: got %x want %x", back, pt)
+	}
+}
+
+func TestAgainstStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		key := make([]byte, 16)
+		pt := make([]byte, 16)
+		rng.Read(key)
+		rng.Read(pt)
+		ours, err := New(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := stdaes.NewCipher(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 16)
+		want := make([]byte, 16)
+		ours.Encrypt(got, pt)
+		ref.Encrypt(want, pt)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("key %x pt %x: got %x want %x", key, pt, got, want)
+		}
+		ours.Decrypt(got, want)
+		if !bytes.Equal(got, pt) {
+			t.Fatalf("key %x: decrypt mismatch", key)
+		}
+	}
+}
+
+func TestDecryptFastMatchesTextbook(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 100; i++ {
+		key := make([]byte, 16)
+		ct := make([]byte, 16)
+		rng.Read(key)
+		rng.Read(ct)
+		r, err := New(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow := make([]byte, 16)
+		fast := make([]byte, 16)
+		r.Decrypt(slow, ct)
+		r.DecryptFast(fast, ct)
+		if !bytes.Equal(slow, fast) {
+			t.Fatalf("key %x ct %x: fast %x textbook %x", key, ct, fast, slow)
+		}
+	}
+}
+
+func TestSboxDerivation(t *testing.T) {
+	// Spot values from FIPS-197 and the inverse property.
+	if sbox[0x9a] != 0xb8 || sbox[0xff] != 0x16 {
+		t.Fatalf("sbox spot check failed: %02x %02x", sbox[0x9a], sbox[0xff])
+	}
+	for x := 0; x < 256; x++ {
+		if invSbox[sbox[x]] != byte(x) {
+			t.Fatalf("invSbox not inverse at %02x", x)
+		}
+	}
+}
+
+func TestBadKeySize(t *testing.T) {
+	if _, err := New(make([]byte, 24)); err == nil {
+		t.Error("24-byte key accepted; this implementation is fixed at AES-128")
+	}
+}

@@ -1,0 +1,100 @@
+package twofish
+
+import (
+	"bytes"
+	"encoding/hex"
+	"math/rand"
+	"testing"
+)
+
+func TestKnownAnswer(t *testing.T) {
+	// Twofish 128-bit KAT: all-zero key, all-zero plaintext.
+	key := make([]byte, 16)
+	pt := make([]byte, 16)
+	want, _ := hex.DecodeString("9f589f5cf6122c32b6bfec2f2ae8c35a")
+	tf, err := New(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 16)
+	tf.Encrypt(got, pt)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %x want %x", got, want)
+	}
+	back := make([]byte, 16)
+	tf.Decrypt(back, got)
+	if !bytes.Equal(back, pt) {
+		t.Fatalf("decrypt: got %x", back)
+	}
+}
+
+func TestIterativeKnownAnswer(t *testing.T) {
+	// The spec's iterative sanity test: starting from all-zero key and
+	// plaintext, repeatedly encrypt using the previous plaintext as key.
+	// After 49 iterations the ciphertext is a published constant.
+	key := make([]byte, 16)
+	pt := make([]byte, 16)
+	var ct []byte
+	for i := 0; i < 49; i++ {
+		tf, err := New(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct = make([]byte, 16)
+		tf.Encrypt(ct, pt)
+		key, pt = pt, ct
+	}
+	want, _ := hex.DecodeString("5d9d4eeffa9151575524f115815a12e0")
+	if !bytes.Equal(ct, want) {
+		t.Fatalf("iteration 49: got %x want %x", ct, want)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for i := 0; i < 100; i++ {
+		key := make([]byte, 16)
+		pt := make([]byte, 16)
+		rng.Read(key)
+		rng.Read(pt)
+		tf, err := New(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct := make([]byte, 16)
+		back := make([]byte, 16)
+		tf.Encrypt(ct, pt)
+		tf.Decrypt(back, ct)
+		if !bytes.Equal(back, pt) {
+			t.Fatalf("key %x pt %x: roundtrip failed", key, pt)
+		}
+	}
+}
+
+func TestQPermutations(t *testing.T) {
+	// q0 and q1 must be permutations of 0..255.
+	for name, q := range map[string]*[256]byte{"q0": &q0, "q1": &q1} {
+		var seen [256]bool
+		for _, v := range q {
+			if seen[v] {
+				t.Fatalf("%s is not a permutation", name)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestFullKeyingMatchesH(t *testing.T) {
+	// g computed via the folded tables must equal h(x, (S1, S0)).
+	key := []byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}
+	tf, _ := New(key)
+	rng := rand.New(rand.NewSource(52))
+	for i := 0; i < 1000; i++ {
+		x := rng.Uint32()
+		want := tf.sbox[0][x&0xff] ^ tf.sbox[1][x>>8&0xff] ^
+			tf.sbox[2][x>>16&0xff] ^ tf.sbox[3][x>>24]
+		if tf.g(x) != want {
+			t.Fatalf("g(%08x) inconsistent", x)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestMulModAgainstModel(t *testing.T) {
+	// Exhaustive-ish check of the low-high decomposition against direct
+	// modular arithmetic in the IDEA zero-means-2^16 convention.
+	model := func(a, b uint16) uint16 {
+		x := uint64(a)
+		if x == 0 {
+			x = 65536
+		}
+		y := uint64(b)
+		if y == 0 {
+			y = 65536
+		}
+		r := x * y % 65537
+		return uint16(r) // 65536 -> 0
+	}
+	step := 251 // prime stride covers the space well
+	for a := 0; a < 65536; a += step {
+		for b := 0; b < 65536; b += step {
+			if got, want := uint16(MulMod(uint64(a), uint64(b))), model(uint16(a), uint16(b)); got != want {
+				t.Fatalf("MulMod(%d,%d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+	// Edges.
+	cases := [][3]uint64{{0, 0, 1}, {0, 1, 0}, {1, 0, 0}, {2, 32768, 0}, {1, 1, 1}}
+	for _, c := range cases {
+		if got := MulMod(c[0], c[1]); got != c[2] {
+			t.Fatalf("MulMod(%d,%d) = %d, want %d", c[0], c[1], got, c[2])
+		}
+	}
+}
+
+func TestMulModProperties(t *testing.T) {
+	// Commutativity and the group identity (multiplying by 1).
+	comm := func(a, b uint16) bool {
+		return MulMod(uint64(a), uint64(b)) == MulMod(uint64(b), uint64(a))
+	}
+	if err := quick.Check(comm, nil); err != nil {
+		t.Error(err)
+	}
+	ident := func(a uint16) bool { return MulMod(uint64(a), 1) == uint64(a) }
+	if err := quick.Check(ident, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRotates(t *testing.T) {
+	prop := func(x uint64, k uint8) bool {
+		kk := uint(k)
+		return RotL32(x, kk) == uint64(bits.RotateLeft32(uint32(x), int(kk&31))) &&
+			RotR32(RotL32(x, kk), kk) == x&0xffffffff &&
+			RotR64(RotL64(x, kk), kk) == x
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSboxAddr(t *testing.T) {
+	base := uint64(0x20000 + 2048) // 1KB aligned
+	if got := SboxAddr(base, 0xddccbbaa, 0); got != base|0xaa<<2 {
+		t.Fatalf("byte 0: got %#x", got)
+	}
+	if got := SboxAddr(base, 0xddccbbaa, 3); got != base|0xdd<<2 {
+		t.Fatalf("byte 3: got %#x", got)
+	}
+	// Misaligned base bits must be masked off.
+	if got := SboxAddr(base|0x3ff, 0, 0); got != base {
+		t.Fatalf("alignment masking: got %#x", got)
+	}
+}
+
+func TestXbox(t *testing.T) {
+	// Identity permutation of byte 0.
+	var m uint64
+	for j := uint(0); j < 8; j++ {
+		m |= uint64(j) << (6 * j)
+	}
+	if got := Xbox(0xa5, m, 0); got != 0xa5 {
+		t.Fatalf("identity: got %#x", got)
+	}
+	// Bit reversal of byte 0.
+	m = 0
+	for j := uint(0); j < 8; j++ {
+		m |= uint64(7-j) << (6 * j)
+	}
+	if got := Xbox(0x01, m, 0); got != 0x80 {
+		t.Fatalf("reverse: got %#x", got)
+	}
+	// Destination byte placement.
+	m = 0 // all bits select source bit 0
+	if got := Xbox(1, m, 5); got != 0xff<<40 {
+		t.Fatalf("byte placement: got %#x", got)
+	}
+}
+
+func TestXboxComposesFullPermutation(t *testing.T) {
+	// Eight XBOXes with per-byte maps must realize an arbitrary 64-bit
+	// permutation (here: rotate-by-13).
+	src := uint64(0x0123456789abcdef)
+	var out uint64
+	for k := uint8(0); k < 8; k++ {
+		var m uint64
+		for j := uint(0); j < 8; j++ {
+			bitIdx := (uint(k)*8 + j + 13) % 64 // out bit = src bit+13
+			m |= uint64(bitIdx) << (6 * j)
+		}
+		out |= Xbox(src, m, k)
+	}
+	if want := bits.RotateLeft64(src, -13); out != want {
+		t.Fatalf("got %#x want %#x", out, want)
+	}
+}

@@ -1,0 +1,295 @@
+// Package emu is the functional AXP64 emulator. It executes programs
+// against a simulated memory arena, checks kernel outputs against the
+// golden cipher models, and produces the committed-path dynamic
+// instruction stream that drives the cycle-level timing model in
+// internal/ooo.
+package emu
+
+import (
+	"fmt"
+	"math/bits"
+
+	"cryptoarch/internal/core"
+	"cryptoarch/internal/isa"
+	"cryptoarch/internal/simmem"
+)
+
+// Rec describes one retired dynamic instruction.
+type Rec struct {
+	Idx   int // static instruction index (PC)
+	Inst  *isa.Inst
+	Addr  uint64 // effective address of memory operations
+	Size  uint8  // memory access size
+	Taken bool   // branch outcome
+	Targ  int    // branch target instruction index
+	Val   uint64 // result value (value-prediction experiments)
+}
+
+// Machine is an AXP64 CPU state plus memory. Step executes one
+// instruction; Run executes until HALT.
+type Machine struct {
+	R    [isa.NumRegs]uint64
+	PC   int
+	Mem  *simmem.Mem
+	Prog *isa.Program
+
+	// Icount is the number of instructions retired so far.
+	Icount uint64
+	// MaxInsts guards against runaway programs (0 = default guard).
+	MaxInsts uint64
+
+	halted bool
+	rec    Rec // scratch record, reused across Step calls
+}
+
+// DefaultMaxInsts bounds a single program run.
+const DefaultMaxInsts = 2_000_000_000
+
+// New creates a machine ready to run prog. The rodata segment is copied to
+// rodataAddr and RGP is pointed at it.
+func New(prog *isa.Program, mem *simmem.Mem, rodataAddr uint64) *Machine {
+	m := &Machine{Mem: mem, Prog: prog, MaxInsts: DefaultMaxInsts}
+	if len(prog.Rodata) > 0 {
+		mem.WriteBytes(rodataAddr, prog.Rodata)
+	}
+	m.R[isa.RGP] = rodataAddr
+	return m
+}
+
+// SetArgs loads the standard kernel argument registers.
+func (m *Machine) SetArgs(a0, a1, a2, a3 uint64) {
+	m.R[isa.RA0] = a0
+	m.R[isa.RA1] = a1
+	m.R[isa.RA2] = a2
+	m.R[isa.RA3] = a3
+}
+
+// Halted reports whether the program has executed HALT.
+func (m *Machine) Halted() bool { return m.halted }
+
+func (m *Machine) src2(i *isa.Inst) uint64 {
+	if i.UseLit {
+		return uint64(i.Lit)
+	}
+	return m.R[i.Rb]
+}
+
+func (m *Machine) write(r isa.Reg, v uint64) uint64 {
+	if r != isa.RZ {
+		m.R[r] = v
+	}
+	return v
+}
+
+// Step executes one instruction and returns its trace record. The returned
+// pointer is only valid until the next Step call. Returns nil once halted.
+func (m *Machine) Step() *Rec {
+	if m.halted {
+		return nil
+	}
+	if m.PC < 0 || m.PC >= len(m.Prog.Code) {
+		panic(fmt.Sprintf("emu: program %s: PC %d out of range", m.Prog.Name, m.PC))
+	}
+	if m.Icount >= m.MaxInsts {
+		panic(fmt.Sprintf("emu: program %s exceeded %d instructions", m.Prog.Name, m.MaxInsts))
+	}
+	i := &m.Prog.Code[m.PC]
+	r := &m.rec
+	*r = Rec{Idx: m.PC, Inst: i}
+	next := m.PC + 1
+	zext32 := func(v uint64) uint64 { return v & 0xffffffff }
+
+	switch i.Op {
+	case isa.OpLDQ, isa.OpLDL, isa.OpLDW, isa.OpLDB:
+		addr := m.R[i.Rb] + uint64(i.Lit)
+		size := int(isa.P(i.Op).Size)
+		r.Addr, r.Size = addr, uint8(size)
+		r.Val = m.write(i.Ra, m.Mem.Load(addr, size))
+	case isa.OpSTQ, isa.OpSTL, isa.OpSTW, isa.OpSTB:
+		addr := m.R[i.Rb] + uint64(i.Lit)
+		size := int(isa.P(i.Op).Size)
+		r.Addr, r.Size = addr, uint8(size)
+		m.Mem.Store(addr, size, m.R[i.Ra])
+		r.Val = m.R[i.Ra]
+	case isa.OpLDA:
+		r.Val = m.write(i.Rc, m.R[i.Rb]+uint64(i.Lit))
+	case isa.OpLDAH:
+		r.Val = m.write(i.Rc, m.R[i.Rb]+uint64(i.Lit)<<16)
+
+	case isa.OpADDQ:
+		r.Val = m.write(i.Rc, m.R[i.Ra]+m.src2(i))
+	case isa.OpSUBQ:
+		r.Val = m.write(i.Rc, m.R[i.Ra]-m.src2(i))
+	case isa.OpADDL:
+		r.Val = m.write(i.Rc, zext32(m.R[i.Ra]+m.src2(i)))
+	case isa.OpSUBL:
+		r.Val = m.write(i.Rc, zext32(m.R[i.Ra]-m.src2(i)))
+	case isa.OpS4ADDQ:
+		r.Val = m.write(i.Rc, m.R[i.Ra]*4+m.src2(i))
+	case isa.OpS8ADDQ:
+		r.Val = m.write(i.Rc, m.R[i.Ra]*8+m.src2(i))
+	case isa.OpMULQ:
+		r.Val = m.write(i.Rc, m.R[i.Ra]*m.src2(i))
+	case isa.OpMULL:
+		r.Val = m.write(i.Rc, zext32(m.R[i.Ra]*m.src2(i)))
+	case isa.OpUMULH:
+		hi, _ := bits.Mul64(m.R[i.Ra], m.src2(i))
+		r.Val = m.write(i.Rc, hi)
+
+	case isa.OpCMPEQ:
+		r.Val = m.write(i.Rc, b2u(m.R[i.Ra] == m.src2(i)))
+	case isa.OpCMPULT:
+		r.Val = m.write(i.Rc, b2u(m.R[i.Ra] < m.src2(i)))
+	case isa.OpCMPULE:
+		r.Val = m.write(i.Rc, b2u(m.R[i.Ra] <= m.src2(i)))
+	case isa.OpCMPLT:
+		r.Val = m.write(i.Rc, b2u(int64(m.R[i.Ra]) < int64(m.src2(i))))
+	case isa.OpCMPLE:
+		r.Val = m.write(i.Rc, b2u(int64(m.R[i.Ra]) <= int64(m.src2(i))))
+
+	case isa.OpAND:
+		r.Val = m.write(i.Rc, m.R[i.Ra]&m.src2(i))
+	case isa.OpBIC:
+		r.Val = m.write(i.Rc, m.R[i.Ra]&^m.src2(i))
+	case isa.OpOR:
+		r.Val = m.write(i.Rc, m.R[i.Ra]|m.src2(i))
+	case isa.OpORNOT:
+		r.Val = m.write(i.Rc, m.R[i.Ra]|^m.src2(i))
+	case isa.OpXOR:
+		r.Val = m.write(i.Rc, m.R[i.Ra]^m.src2(i))
+	case isa.OpEQV:
+		r.Val = m.write(i.Rc, m.R[i.Ra]^^m.src2(i))
+
+	case isa.OpSLL:
+		r.Val = m.write(i.Rc, m.R[i.Ra]<<(m.src2(i)&63))
+	case isa.OpSRL:
+		r.Val = m.write(i.Rc, m.R[i.Ra]>>(m.src2(i)&63))
+	case isa.OpSRA:
+		r.Val = m.write(i.Rc, uint64(int64(m.R[i.Ra])>>(m.src2(i)&63)))
+	case isa.OpSLLL:
+		r.Val = m.write(i.Rc, zext32(m.R[i.Ra]<<(m.src2(i)&31)))
+	case isa.OpSRLL:
+		r.Val = m.write(i.Rc, zext32(m.R[i.Ra])>>(m.src2(i)&31))
+
+	case isa.OpEXTB:
+		r.Val = m.write(i.Rc, (m.R[i.Ra]>>(8*(m.src2(i)&7)))&0xff)
+	case isa.OpINSB:
+		r.Val = m.write(i.Rc, (m.R[i.Ra]&0xff)<<(8*(m.src2(i)&7)))
+	case isa.OpZEXTB:
+		r.Val = m.write(i.Rc, m.R[i.Ra]&0xff)
+	case isa.OpZEXTW:
+		r.Val = m.write(i.Rc, m.R[i.Ra]&0xffff)
+	case isa.OpZEXTL:
+		r.Val = m.write(i.Rc, zext32(m.R[i.Ra]))
+	case isa.OpSEXTL:
+		r.Val = m.write(i.Rc, uint64(int64(int32(m.R[i.Ra]))))
+
+	case isa.OpCMOVEQ:
+		if m.R[i.Ra] == 0 {
+			m.write(i.Rc, m.src2(i))
+		}
+		r.Val = m.R[i.Rc]
+	case isa.OpCMOVNE:
+		if m.R[i.Ra] != 0 {
+			m.write(i.Rc, m.src2(i))
+		}
+		r.Val = m.R[i.Rc]
+
+	case isa.OpBR:
+		next = int(i.Lit)
+		r.Taken, r.Targ = true, next
+	case isa.OpBSR:
+		m.write(isa.RLNK, uint64(m.PC+1))
+		next = int(i.Lit)
+		r.Taken, r.Targ = true, next
+		r.Val = uint64(m.PC + 1)
+	case isa.OpRET:
+		next = int(m.R[i.Rb])
+		r.Taken, r.Targ = true, next
+	case isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBLE, isa.OpBGT, isa.OpBGE:
+		v := int64(m.R[i.Ra])
+		var take bool
+		switch i.Op {
+		case isa.OpBEQ:
+			take = v == 0
+		case isa.OpBNE:
+			take = v != 0
+		case isa.OpBLT:
+			take = v < 0
+		case isa.OpBLE:
+			take = v <= 0
+		case isa.OpBGT:
+			take = v > 0
+		case isa.OpBGE:
+			take = v >= 0
+		}
+		r.Taken = take
+		r.Targ = int(i.Lit)
+		if take {
+			next = r.Targ
+		}
+
+	case isa.OpHALT:
+		m.halted = true
+	case isa.OpNOP:
+
+	case isa.OpROLQ:
+		r.Val = m.write(i.Rc, core.RotL64(m.R[i.Ra], uint(m.src2(i))))
+	case isa.OpRORQ:
+		r.Val = m.write(i.Rc, core.RotR64(m.R[i.Ra], uint(m.src2(i))))
+	case isa.OpROLL:
+		r.Val = m.write(i.Rc, core.RotL32(m.R[i.Ra], uint(m.src2(i))))
+	case isa.OpRORL:
+		r.Val = m.write(i.Rc, core.RotR32(m.R[i.Ra], uint(m.src2(i))))
+	case isa.OpROLXL:
+		r.Val = m.write(i.Rc, zext32(core.RotL32(m.R[i.Ra], uint(i.Lit))^m.R[i.Rc]))
+	case isa.OpRORXL:
+		r.Val = m.write(i.Rc, zext32(core.RotR32(m.R[i.Ra], uint(i.Lit))^m.R[i.Rc]))
+	case isa.OpROLXQ:
+		r.Val = m.write(i.Rc, core.RotL64(m.R[i.Ra], uint(i.Lit))^m.R[i.Rc])
+	case isa.OpRORXQ:
+		r.Val = m.write(i.Rc, core.RotR64(m.R[i.Ra], uint(i.Lit))^m.R[i.Rc])
+
+	case isa.OpMULMOD:
+		r.Val = m.write(i.Rc, core.MulMod(m.R[i.Ra], m.src2(i)))
+
+	case isa.OpSBOX:
+		addr := core.SboxAddr(m.R[i.Rb], m.R[i.Ra], i.Sel2)
+		r.Addr, r.Size = addr, 4
+		r.Val = m.write(i.Rc, m.Mem.Load(addr, 4))
+	case isa.OpSBOXSYNC:
+		// Functionally a no-op here: the emulator always reads live
+		// memory. The timing model invalidates SBox caches on it.
+	case isa.OpXBOX:
+		r.Val = m.write(i.Rc, core.Xbox(m.R[i.Ra], m.R[i.Rb], i.Sel1))
+
+	default:
+		panic(fmt.Sprintf("emu: program %s: unimplemented op %v at %d", m.Prog.Name, i.Op, m.PC))
+	}
+
+	m.PC = next
+	m.Icount++
+	return r
+}
+
+// Run executes until HALT, invoking fn (if non-nil) for each retired
+// instruction, and returns the number of instructions executed.
+func (m *Machine) Run(fn func(*Rec)) uint64 {
+	start := m.Icount
+	for {
+		r := m.Step()
+		if r == nil {
+			return m.Icount - start
+		}
+		if fn != nil {
+			fn(r)
+		}
+	}
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

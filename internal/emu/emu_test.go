@@ -1,0 +1,155 @@
+package emu
+
+import (
+	"testing"
+
+	"cryptoarch/internal/isa"
+	"cryptoarch/internal/simmem"
+)
+
+func run(t *testing.T, build func(b *isa.Builder)) *Machine {
+	t.Helper()
+	b := isa.NewBuilder("t", isa.FeatOpt)
+	build(b)
+	b.HALT()
+	m := New(b.Build(), simmem.New(1<<16), 0x12000)
+	m.Run(nil)
+	return m
+}
+
+func TestArithmetic(t *testing.T) {
+	m := run(t, func(b *isa.Builder) {
+		b.LDA(isa.R1, 100, isa.RZ)
+		b.LDA(isa.R2, -3, isa.RZ)
+		b.ADDQ(isa.R1, isa.R2, isa.R3)   // 97
+		b.SUBQI(isa.R1, 30, isa.R4)      // 70
+		b.MULQ(isa.R1, isa.R1, isa.R5)   // 10000
+		b.CMPULT(isa.R2, isa.R1, isa.R6) // -3 unsigned is huge: 0
+		b.CMPLT(isa.R2, isa.R1, isa.R7)  // signed: 1
+	})
+	if m.R[3] != 97 || m.R[4] != 70 || m.R[5] != 10000 {
+		t.Fatalf("arith: %d %d %d", m.R[3], m.R[4], m.R[5])
+	}
+	if m.R[6] != 0 || m.R[7] != 1 {
+		t.Fatalf("compares: %d %d", m.R[6], m.R[7])
+	}
+}
+
+func TestLongwordOpsZeroExtend(t *testing.T) {
+	m := run(t, func(b *isa.Builder) {
+		b.LoadImm32(isa.R1, 0xffffffff)
+		b.ADDLI(isa.R1, 1, isa.R2)  // wraps to 0
+		b.SUBLI(isa.R2, 1, isa.R3)  // wraps to 0xffffffff, zero-extended
+		b.SLLLI(isa.R1, 4, isa.R4)  // 0xfffffff0
+		b.SRLLI(isa.R1, 28, isa.R5) // 0xf
+	})
+	if m.R[2] != 0 || m.R[3] != 0xffffffff || m.R[4] != 0xfffffff0 || m.R[5] != 0xf {
+		t.Fatalf("longword: %#x %#x %#x %#x", m.R[2], m.R[3], m.R[4], m.R[5])
+	}
+}
+
+func TestMemoryAndByteOps(t *testing.T) {
+	m := run(t, func(b *isa.Builder) {
+		b.LoadImm(isa.R1, simmem.Base+256)
+		b.LoadImm32(isa.R2, 0xdeadbeef)
+		b.STL(isa.R2, 0, isa.R1)
+		b.LDB(isa.R3, 3, isa.R1)   // 0xde
+		b.LDW(isa.R4, 0, isa.R1)   // 0xbeef
+		b.EXTBI(isa.R2, 2, isa.R5) // 0xad
+		b.INSBI(isa.R5, 7, isa.R6) // 0xad << 56
+		b.ZEXTW(isa.R2, isa.R7)    // 0xbeef
+	})
+	if m.R[3] != 0xde || m.R[4] != 0xbeef || m.R[5] != 0xad {
+		t.Fatalf("bytes: %#x %#x %#x", m.R[3], m.R[4], m.R[5])
+	}
+	if m.R[6] != 0xad<<56 || m.R[7] != 0xbeef {
+		t.Fatalf("insert/zext: %#x %#x", m.R[6], m.R[7])
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	m := run(t, func(b *isa.Builder) {
+		// Sum 1..10 with a loop, then double it via a subroutine.
+		b.LDA(isa.R1, 10, isa.RZ)
+		b.MOV(isa.RZ, isa.R2)
+		b.Label("loop")
+		b.ADDQ(isa.R2, isa.R1, isa.R2)
+		b.SUBQI(isa.R1, 1, isa.R1)
+		b.BGT(isa.R1, "loop")
+		b.BSR("double")
+		b.BR("end")
+		b.Label("double")
+		b.ADDQ(isa.R2, isa.R2, isa.R2)
+		b.RET()
+		b.Label("end")
+	})
+	if m.R[2] != 110 {
+		t.Fatalf("sum doubled = %d, want 110", m.R[2])
+	}
+}
+
+func TestRZIsImmutableZero(t *testing.T) {
+	m := run(t, func(b *isa.Builder) {
+		b.LDA(isa.RZ, 123, isa.RZ)
+		b.ADDQ(isa.RZ, isa.RZ, isa.R1)
+	})
+	if m.R[isa.RZ] != 0 || m.R[1] != 0 {
+		t.Fatal("R31 must stay zero")
+	}
+}
+
+func TestCryptoOps(t *testing.T) {
+	m := run(t, func(b *isa.Builder) {
+		b.LoadImm32(isa.R1, 0x80000001)
+		b.ROLLI(isa.R1, 1, isa.R2) // 0x00000003
+		b.RORLI(isa.R1, 1, isa.R3) // 0xc0000000
+		b.LoadImm32(isa.R4, 0xff)
+		b.ROLXL(isa.R4, 8, isa.R2) // r2 ^= 0xff00 -> 0xff03
+		b.LDA(isa.R5, 3, isa.RZ)
+		b.LDA(isa.R6, 5, isa.RZ)
+		b.MULMODR(isa.R5, isa.R6, isa.R7) // 15
+	})
+	if m.R[2] != 0xff03 || m.R[3] != 0xc0000000 || m.R[7] != 15 {
+		t.Fatalf("crypto ops: %#x %#x %d", m.R[2], m.R[3], m.R[7])
+	}
+}
+
+func TestSboxInstruction(t *testing.T) {
+	b := isa.NewBuilder("sbox", isa.FeatOpt)
+	base := uint64(simmem.Base + 1024) // 1KB aligned
+	b.LoadImm(isa.R1, int64(base))
+	b.LoadImm32(isa.R2, 0x0000bb00) // byte 1 = 0xbb
+	b.SBOX(0, 1, isa.R1, isa.R2, isa.R3, false)
+	b.HALT()
+	mem := simmem.New(1 << 16)
+	mem.Store(base+0xbb*4, 4, 0xcafe1234)
+	m := New(b.Build(), mem, 0x12000)
+	m.Run(nil)
+	if m.R[3] != 0xcafe1234 {
+		t.Fatalf("SBOX loaded %#x", m.R[3])
+	}
+}
+
+func TestTraceRecords(t *testing.T) {
+	b := isa.NewBuilder("trace", isa.FeatRot)
+	b.LDA(isa.R1, 7, isa.RZ)
+	b.LoadImm(isa.R2, simmem.Base)
+	b.STQ(isa.R1, 8, isa.R2)
+	b.BEQ(isa.R1, "skip")
+	b.NOP()
+	b.Label("skip")
+	b.HALT()
+	m := New(b.Build(), simmem.New(1<<13), 0x12000)
+	var recs []Rec
+	m.Run(func(r *Rec) { recs = append(recs, *r) })
+	// LDA, LDAH (LoadImm), STQ, BEQ, NOP, HALT.
+	if len(recs) != 6 {
+		t.Fatalf("expected 6 committed instructions, got %d", len(recs))
+	}
+	if recs[2].Addr != simmem.Base+8 || recs[2].Size != 8 {
+		t.Fatalf("store record wrong: %+v", recs[2])
+	}
+	if recs[3].Taken {
+		t.Fatal("BEQ on nonzero must be not-taken")
+	}
+}

@@ -1,0 +1,114 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: Table 1 (cipher suite), Figure 2 (SSL characterization),
+// Figure 4 (cipher throughput), Figure 5 (bottleneck analysis), Figure 6
+// (setup cost), Figure 7 (operation mix), the Section 4.3 value-prediction
+// study, Table 2 (machine models) and Figure 10 (optimized-kernel
+// speedups).
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"cryptoarch/internal/harness"
+	"cryptoarch/internal/isa"
+	"cryptoarch/internal/ooo"
+)
+
+// SessionBytes is the paper's standard session length for all kernel
+// measurements (Section 4.2: "for all remaining experiments, we use a
+// session length of 4k bytes").
+const SessionBytes = 4096
+
+// Ciphers lists the suite in the paper's presentation order.
+var Ciphers = []string{"3des", "blowfish", "idea", "mars", "rc4", "rc6", "rijndael", "twofish"}
+
+// Report is a rendered experiment: a title, column headers, and rows.
+type Report struct {
+	ID      string // e.g. "figure-4"
+	Title   string
+	Note    string
+	Columns []string
+	Rows    [][]string
+}
+
+// Text renders the report as an aligned plain-text table.
+func (r *Report) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", r.ID, r.Title)
+	if r.Note != "" {
+		fmt.Fprintf(&b, "%s\n", r.Note)
+	}
+	width := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		width[i] = len(c)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(width) && len(cell) > width[i] {
+				width[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(r.Columns)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// Markdown renders the report as a GitHub-flavored table.
+func (r *Report) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s: %s\n\n", r.ID, r.Title)
+	if r.Note != "" {
+		fmt.Fprintf(&b, "%s\n\n", r.Note)
+	}
+	b.WriteString("| " + strings.Join(r.Columns, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(r.Columns)) + "\n")
+	for _, row := range r.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	return b.String()
+}
+
+// runCache memoizes timing runs shared between experiments.
+var (
+	runMu    sync.Mutex
+	runCache = map[string]*ooo.Stats{}
+)
+
+// timed runs (or recalls) one kernel session measurement.
+func timed(cipher string, feat isa.Feature, cfg ooo.Config, session int) (*ooo.Stats, error) {
+	key := fmt.Sprintf("%s|%s|%s|%d", cipher, feat, cfg.Name, session)
+	runMu.Lock()
+	st, ok := runCache[key]
+	runMu.Unlock()
+	if ok {
+		return st, nil
+	}
+	st, err := harness.TimeKernel(cipher, feat, cfg, session, 12345)
+	if err != nil {
+		return nil, err
+	}
+	runMu.Lock()
+	runCache[key] = st
+	runMu.Unlock()
+	return st, nil
+}
+
+// rate converts a session measurement to the paper's Figure 4 metric,
+// bytes encrypted per 1000 cycles.
+func rate(bytes int, cycles uint64) float64 {
+	return float64(bytes) * 1000 / float64(cycles)
+}

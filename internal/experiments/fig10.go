@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cryptoarch/internal/isa"
+	"cryptoarch/internal/ooo"
+)
+
+// Fig10 reproduces Figure 10: speedups of the kernels over the baseline
+// machine running the original code *with rotates* (the paper's
+// normalization target). Orig/4W shows the penalty of lacking rotate
+// instructions; the remaining bars run the fully optimized kernels on
+// progressively larger machines.
+func Fig10() (*Report, error) {
+	r := &Report{
+		ID:    "figure-10",
+		Title: "Relative performance of the optimized kernels (speedup vs original-with-rotates on 4W)",
+		Columns: []string{
+			"Cipher", "Orig(norot)/4W", "Opt/4W", "Opt/4W+", "Opt/8W+", "Opt/DF",
+		},
+	}
+	type cell struct {
+		feat isa.Feature
+		cfg  ooo.Config
+	}
+	bars := []cell{
+		{isa.FeatNoRot, ooo.FourWide},
+		{isa.FeatOpt, ooo.FourWide},
+		{isa.FeatOpt, ooo.FourWidePlus},
+		{isa.FeatOpt, ooo.EightWidePlus},
+		{isa.FeatOpt, ooo.Dataflow},
+	}
+	sums := make([]float64, len(bars))
+	var sumNoRotGain float64
+	for _, name := range Ciphers {
+		base, err := timed(name, isa.FeatRot, ooo.FourWide, SessionBytes)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{name}
+		for i, bar := range bars {
+			st, err := timed(name, bar.feat, bar.cfg, SessionBytes)
+			if err != nil {
+				return nil, err
+			}
+			sp := float64(base.Cycles) / float64(st.Cycles)
+			sums[i] += sp
+			row = append(row, fmt.Sprintf("%.2f", sp))
+			if i == 1 { // Opt/4W vs the no-rotate original
+				noRot, err := timed(name, isa.FeatNoRot, ooo.FourWide, SessionBytes)
+				if err != nil {
+					return nil, err
+				}
+				sumNoRotGain += float64(noRot.Cycles) / float64(st.Cycles)
+			}
+		}
+		r.Rows = append(r.Rows, row)
+	}
+	avg := []string{"average"}
+	for _, s := range sums {
+		avg = append(avg, fmt.Sprintf("%.2f", s/float64(len(Ciphers))))
+	}
+	r.Rows = append(r.Rows, avg)
+	r.Note = fmt.Sprintf(
+		"Headline: Opt/4W average speedup %.0f%% over the rotate baseline, %.0f%% over a baseline without rotates (paper: 59%% and 74%%).",
+		100*(sums[1]/float64(len(Ciphers))-1),
+		100*(sumNoRotGain/float64(len(Ciphers))-1))
+	return r, nil
+}

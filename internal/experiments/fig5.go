@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cryptoarch/internal/isa"
+	"cryptoarch/internal/ooo"
+)
+
+// Fig5 reproduces Figure 5: for each cipher, the performance of the
+// dataflow machine with a single bottleneck re-inserted, relative to the
+// unconstrained dataflow machine (1.00 = no impact). The "All" column is
+// the full baseline.
+func Fig5() (*Report, error) {
+	r := &Report{
+		ID:    "figure-5",
+		Title: "Bottleneck analysis: performance relative to the dataflow machine",
+		Note:  "Original kernels with rotates, 4KB sessions. 1.00 means the bottleneck does not bind.",
+	}
+	r.Columns = append([]string{"Cipher"}, ooo.Bottlenecks...)
+	for _, name := range Ciphers {
+		df, err := timed(name, isa.FeatRot, ooo.Dataflow, SessionBytes)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{name}
+		for _, bn := range ooo.Bottlenecks {
+			cfg, err := ooo.BottleneckConfig(bn)
+			if err != nil {
+				return nil, err
+			}
+			st, err := timed(name, isa.FeatRot, cfg, SessionBytes)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.2f", float64(df.Cycles)/float64(st.Cycles)))
+		}
+		r.Rows = append(r.Rows, row)
+	}
+	return r, nil
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cryptoarch/internal/harness"
+	"cryptoarch/internal/isa"
+	"cryptoarch/internal/ooo"
+)
+
+// Fig6Sessions are the session lengths swept in Figure 6.
+var Fig6Sessions = []int{16, 64, 256, 1024, 4096, 16384, 65536}
+
+// Fig6 reproduces Figure 6: key-setup cost as a fraction of total session
+// time (setup plus encryption) for increasing session lengths, on the
+// baseline machine with the original (rotate) kernels.
+func Fig6() (*Report, error) {
+	r := &Report{
+		ID:    "figure-6",
+		Title: "Setup cost as a fraction of session run time (4W, original kernels)",
+	}
+	r.Columns = append([]string{"Cipher", "Setup cycles"}, func() []string {
+		var c []string
+		for _, s := range Fig6Sessions {
+			c = append(c, fmt.Sprintf("%dB", s))
+		}
+		return c
+	}()...)
+	for _, name := range Ciphers {
+		setup, err := harness.TimeSetup(name, isa.FeatRot, ooo.FourWide, 12345)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{name, fmt.Sprint(setup.Cycles)}
+		for _, s := range Fig6Sessions {
+			// Sessions must cover whole blocks; round up to the kernel
+			// granule for the tiny sizes.
+			k, err := kernelBlock(name)
+			if err != nil {
+				return nil, err
+			}
+			sess := s
+			if rem := sess % k; rem != 0 {
+				sess += k - rem
+			}
+			st, err := timed(name, isa.FeatRot, ooo.FourWide, sess)
+			if err != nil {
+				return nil, err
+			}
+			frac := float64(setup.Cycles) / float64(setup.Cycles+st.Cycles)
+			row = append(row, fmt.Sprintf("%.1f%%", 100*frac))
+		}
+		r.Rows = append(r.Rows, row)
+	}
+	return r, nil
+}
+
+func kernelBlock(name string) (int, error) {
+	k, err := kernelsGet(name)
+	if err != nil {
+		return 0, err
+	}
+	if k.BlockBytes < 1 {
+		return 1, nil
+	}
+	return k.BlockBytes, nil
+}

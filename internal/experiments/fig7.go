@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cryptoarch/internal/emu"
+	"cryptoarch/internal/harness"
+	"cryptoarch/internal/isa"
+	"cryptoarch/internal/kernels"
+)
+
+// kernelsGet indirection keeps the kernels import local to this package's
+// helpers.
+func kernelsGet(name string) (*kernels.Kernel, error) { return kernels.Get(name) }
+
+// Fig7 reproduces Figure 7: the dynamic operation mix of each cipher
+// kernel, as fractions of all committed instructions, bucketed into the
+// paper's eight categories.
+func Fig7() (*Report, error) {
+	r := &Report{
+		ID:    "figure-7",
+		Title: "Characterization of cipher kernel operations (fraction of dynamic instructions)",
+		Note:  "Original kernels with rotates, 4KB sessions.",
+	}
+	r.Columns = []string{"Cipher", "Arith", "Logic", "Rotate", "Mult", "Subst", "Perm", "Ld/St", "Control"}
+	order := []isa.Class{
+		isa.ClassArith, isa.ClassLogic, isa.ClassRotate, isa.ClassMult,
+		isa.ClassSubst, isa.ClassPerm, isa.ClassMem, isa.ClassControl,
+	}
+	for _, name := range Ciphers {
+		w, err := harness.NewWorkload(name, SessionBytes, 12345)
+		if err != nil {
+			return nil, err
+		}
+		m, err := harness.Prepare(w, isa.FeatRot)
+		if err != nil {
+			return nil, err
+		}
+		var counts [isa.NumClasses]uint64
+		var total uint64
+		m.Run(func(rec *emu.Rec) {
+			counts[rec.Inst.Class]++
+			total++
+		})
+		row := []string{name}
+		for _, c := range order {
+			row = append(row, fmt.Sprintf("%.1f%%", 100*float64(counts[c])/float64(total)))
+		}
+		r.Rows = append(r.Rows, row)
+	}
+	return r, nil
+}

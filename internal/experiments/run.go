@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+// Generator is one experiment entry point.
+type Generator struct {
+	Name string
+	Run  func() (*Report, error)
+}
+
+// All lists every experiment in paper order.
+func All() []Generator {
+	return []Generator{
+		{"table-1", Table1},
+		{"figure-2", Fig2},
+		{"figure-4", Fig4},
+		{"figure-5", Fig5},
+		{"figure-6", Fig6},
+		{"figure-7", Fig7},
+		{"sec-4.3-valuepred", ValuePred},
+		{"table-2", Table2},
+		{"figure-10", Fig10},
+		{"footnote-1-decrypt", DecryptParity},
+	}
+}
+
+// Main is the shared entry point of the per-experiment commands: it runs
+// the generator and prints the report (plain text, or markdown with -md).
+func Main(run func() (*Report, error)) {
+	md := flag.Bool("md", false, "emit a markdown table")
+	flag.Parse()
+	r, err := run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	if *md {
+		fmt.Print(r.Markdown())
+	} else {
+		fmt.Print(r.Text())
+	}
+}

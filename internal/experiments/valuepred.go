@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cryptoarch/internal/emu"
+	"cryptoarch/internal/harness"
+	"cryptoarch/internal/isa"
+)
+
+// ValuePred reproduces the Section 4.3 value-prediction study: an
+// infinite last-value predictor applied to every instruction of each
+// cipher kernel. The paper reports the most predictable dependence edge at
+// only 6.3% — diffusion destroys value locality. We report the best
+// accuracy over the diffusion-path instruction classes (logic, rotate,
+// multiply, substitution, permutation); bookkeeping instructions (loop
+// counters, key reloads) are trivially predictable and excluded, as they
+// carry no ciphertext dependence.
+func ValuePred() (*Report, error) {
+	r := &Report{
+		ID:    "sec-4.3-valuepred",
+		Title: "Last-value predictability of cipher-kernel dataflow",
+		Columns: []string{
+			"Cipher", "Best edge accuracy", "Mean accuracy", "Edges measured",
+		},
+	}
+	diffusion := map[isa.Class]bool{
+		isa.ClassLogic: true, isa.ClassRotate: true, isa.ClassMult: true,
+		isa.ClassSubst: true, isa.ClassPerm: true,
+	}
+	const minExec = 64
+	for _, name := range Ciphers {
+		w, err := harness.NewWorkload(name, SessionBytes, 12345)
+		if err != nil {
+			return nil, err
+		}
+		m, err := harness.Prepare(w, isa.FeatRot)
+		if err != nil {
+			return nil, err
+		}
+		type stat struct {
+			last           uint64
+			first          uint64
+			seen, varied   bool
+			execs, correct uint64
+		}
+		stats := map[int]*stat{}
+		// Compares and conditional moves produce 1-bit carry/select
+		// helpers (e.g. the software MULMOD's correction bit), not
+		// diffusion values; a biased carry is "predictable" without
+		// breaking any ciphertext dependence.
+		helper := map[isa.Op]bool{
+			isa.OpCMPEQ: true, isa.OpCMPULT: true, isa.OpCMPULE: true,
+			isa.OpCMPLT: true, isa.OpCMPLE: true,
+			isa.OpCMOVEQ: true, isa.OpCMOVNE: true,
+		}
+		m.Run(func(rec *emu.Rec) {
+			if !diffusion[rec.Inst.Class] || rec.Inst.Dest() == isa.RZ || helper[rec.Inst.Op] {
+				return
+			}
+			s := stats[rec.Idx]
+			if s == nil {
+				s = &stat{}
+				stats[rec.Idx] = s
+			}
+			if s.seen {
+				s.execs++
+				if rec.Val == s.last {
+					s.correct++
+				}
+				if rec.Val != s.first {
+					s.varied = true
+				}
+			} else {
+				s.first = rec.Val
+			}
+			s.seen = true
+			s.last = rec.Val
+		})
+		best, sum, edges := 0.0, 0.0, 0
+		for _, s := range stats {
+			// Constant-valued instructions (key-derived loop invariants)
+			// carry no ciphertext dependence: predicting them breaks
+			// nothing, so they are excluded, as is any edge executed too
+			// rarely to measure.
+			if s.execs < minExec || !s.varied {
+				continue
+			}
+			acc := float64(s.correct) / float64(s.execs)
+			if acc > best {
+				best = acc
+			}
+			sum += acc
+			edges++
+		}
+		mean := 0.0
+		if edges > 0 {
+			mean = sum / float64(edges)
+		}
+		r.Rows = append(r.Rows, []string{
+			name,
+			fmt.Sprintf("%.1f%%", 100*best),
+			fmt.Sprintf("%.2f%%", 100*mean),
+			fmt.Sprint(edges),
+		})
+	}
+	return r, nil
+}

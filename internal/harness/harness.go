@@ -1,0 +1,165 @@
+// Package harness couples the cipher kernels to the timing model: it
+// prepares deterministic workloads, warms the memory system the way the
+// paper's measurement methodology implies (key setup has just written the
+// context; the kernel code has executed before), and runs the cycle-level
+// engine.
+package harness
+
+import (
+	"math/rand"
+
+	"cryptoarch/internal/ciphers"
+	"cryptoarch/internal/emu"
+	"cryptoarch/internal/isa"
+	"cryptoarch/internal/kernels"
+	"cryptoarch/internal/ooo"
+)
+
+// Workload is a deterministic session: key, IV and plaintext derived from
+// a seed.
+type Workload struct {
+	Cipher string
+	Key    []byte
+	IV     []byte
+	Plain  []byte
+}
+
+// NewWorkload builds a session workload for a cipher.
+func NewWorkload(cipher string, sessionBytes int, seed int64) (*Workload, error) {
+	k, err := kernels.Get(cipher)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	w := &Workload{Cipher: cipher}
+	w.Key = make([]byte, k.KeyBytes)
+	rng.Read(w.Key)
+	if k.BlockBytes > 1 {
+		w.IV = make([]byte, k.BlockBytes)
+		rng.Read(w.IV)
+	}
+	w.Plain = make([]byte, sessionBytes)
+	rng.Read(w.Plain)
+	return w, nil
+}
+
+// Prepare returns a ready-to-run functional machine for the workload.
+func Prepare(w *Workload, feat isa.Feature) (*emu.Machine, error) {
+	k, err := kernels.Get(w.Cipher)
+	if err != nil {
+		return nil, err
+	}
+	m, _, err := kernels.NewRun(k, feat, w.Key, w.IV, w.Plain)
+	return m, err
+}
+
+// TimeKernel runs one cipher-kernel session on a machine configuration and
+// returns the timing statistics.
+func TimeKernel(cipher string, feat isa.Feature, cfg ooo.Config, sessionBytes int, seed int64) (*ooo.Stats, error) {
+	w, err := NewWorkload(cipher, sessionBytes, seed)
+	if err != nil {
+		return nil, err
+	}
+	return TimeWorkload(w, feat, cfg)
+}
+
+// TimeWorkload times a prepared workload.
+func TimeWorkload(w *Workload, feat isa.Feature, cfg ooo.Config) (*ooo.Stats, error) {
+	k, err := kernels.Get(w.Cipher)
+	if err != nil {
+		return nil, err
+	}
+	m, err := Prepare(w, feat)
+	if err != nil {
+		return nil, err
+	}
+	eng := ooo.NewEngine(cfg, ooo.MachineStream{M: m})
+	eng.WarmData(kernels.CtxAddr, k.CtxBytes)
+	eng.WarmCode(len(m.Prog.Code))
+	return eng.Run()
+}
+
+// TimeDecrypt runs one decryption session (golden-encrypted ciphertext
+// through the AXP64 decryption kernel) on a machine configuration. The
+// paper's footnote 1 observes encryption and decryption perform
+// comparably; this lets that be verified.
+func TimeDecrypt(cipher string, feat isa.Feature, cfg ooo.Config, sessionBytes int, seed int64) (*ooo.Stats, error) {
+	w, err := NewWorkload(cipher, sessionBytes, seed)
+	if err != nil {
+		return nil, err
+	}
+	k, err := kernels.Get(cipher)
+	if err != nil {
+		return nil, err
+	}
+	ct, err := goldenCiphertext(w)
+	if err != nil {
+		return nil, err
+	}
+	m, _, err := kernels.NewDecRun(k, feat, w.Key, w.IV, ct)
+	if err != nil {
+		return nil, err
+	}
+	eng := ooo.NewEngine(cfg, ooo.MachineStream{M: m})
+	eng.WarmData(kernels.CtxAddr, k.CtxBytes)
+	eng.WarmCode(len(m.Prog.Code))
+	return eng.Run()
+}
+
+// goldenCiphertext encrypts the workload with the golden cipher.
+func goldenCiphertext(w *Workload) ([]byte, error) {
+	c, err := ciphers.Lookup(w.Cipher)
+	if err != nil {
+		return nil, err
+	}
+	ct := make([]byte, len(w.Plain))
+	if c.Info.Stream {
+		s, err := c.NewStream(w.Key)
+		if err != nil {
+			return nil, err
+		}
+		s.XORKeyStream(ct, w.Plain)
+		return ct, nil
+	}
+	blk, err := c.NewBlock(w.Key)
+	if err != nil {
+		return nil, err
+	}
+	iv := append([]byte(nil), w.IV...)
+	ciphers.CBCEncrypt(blk, iv, ct, w.Plain)
+	return ct, nil
+}
+
+// CountKernel runs the workload on the functional emulator only and
+// returns the dynamic instruction count (the 1-CPI machine of Figure 4).
+func CountKernel(cipher string, feat isa.Feature, sessionBytes int, seed int64) (uint64, error) {
+	w, err := NewWorkload(cipher, sessionBytes, seed)
+	if err != nil {
+		return 0, err
+	}
+	m, err := Prepare(w, feat)
+	if err != nil {
+		return 0, err
+	}
+	return m.Run(nil), nil
+}
+
+// TimeSetup times a cipher's key-setup program.
+func TimeSetup(cipher string, feat isa.Feature, cfg ooo.Config, seed int64) (*ooo.Stats, error) {
+	k, err := kernels.Get(cipher)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	key := make([]byte, k.KeyBytes)
+	rng.Read(key)
+	iv := make([]byte, max(k.BlockBytes, 8))
+	rng.Read(iv)
+	m, _, err := kernels.NewSetupRun(k, feat, key, iv)
+	if err != nil {
+		return nil, err
+	}
+	eng := ooo.NewEngine(cfg, ooo.MachineStream{M: m})
+	eng.WarmCode(len(m.Prog.Code))
+	return eng.Run()
+}

@@ -1,0 +1,589 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Feature selects the instruction-set level a program is assembled for.
+// The builder macros expand differently per level, mirroring the paper's
+// three code versions: original without rotates, original with rotates,
+// and fully optimized.
+type Feature struct {
+	// HWRotate enables the ROL/ROR rotate instructions. Without it,
+	// rotates are synthesized from shifts and OR (3 instructions for a
+	// constant amount, 4 for a variable amount).
+	HWRotate bool
+	// CryptoExt enables the full extension set: ROLX/RORX, MULMOD, SBOX,
+	// SBOXSYNC and XBOX. Implies hardware rotates.
+	CryptoExt bool
+}
+
+// The three kernel variants studied in the paper.
+var (
+	FeatNoRot = Feature{}
+	FeatRot   = Feature{HWRotate: true}
+	FeatOpt   = Feature{HWRotate: true, CryptoExt: true}
+)
+
+func (f Feature) String() string {
+	switch f {
+	case FeatNoRot:
+		return "norot"
+	case FeatRot:
+		return "rot"
+	case FeatOpt:
+		return "opt"
+	}
+	return fmt.Sprintf("feature(%v,%v)", f.HWRotate, f.CryptoExt)
+}
+
+type fixup struct {
+	inst  int
+	label string
+}
+
+// Builder assembles an AXP64 program. Emit methods append instructions;
+// Label marks positions; branch emitters reference labels which are
+// resolved by Build. Macro methods (RotL32, SBoxXor, MulMod, ...) expand
+// according to the builder's Feature level.
+type Builder struct {
+	Feat   Feature
+	name   string
+	code   []Inst
+	labels map[string]int
+	fixups []fixup
+	rodata []byte
+	pool   map[uint64]int64 // constant -> rodata offset
+	class  *Class           // active class override
+	err    error
+}
+
+// NewBuilder returns a Builder for a program with the given name and
+// feature level.
+func NewBuilder(name string, feat Feature) *Builder {
+	return &Builder{
+		Feat:   feat,
+		name:   name,
+		labels: make(map[string]int),
+		pool:   make(map[uint64]int64),
+	}
+}
+
+// Build resolves labels and returns the finished program.
+func (b *Builder) Build() *Program {
+	if b.err != nil {
+		panic(b.err)
+	}
+	for _, f := range b.fixups {
+		target, ok := b.labels[f.label]
+		if !ok {
+			panic(fmt.Sprintf("program %s: undefined label %q", b.name, f.label))
+		}
+		b.code[f.inst].Lit = int64(target)
+	}
+	return &Program{Name: b.name, Code: b.code, Labels: b.labels, Rodata: b.rodata}
+}
+
+// Len returns the number of instructions emitted so far.
+func (b *Builder) Len() int { return len(b.code) }
+
+// Label marks the next emitted instruction with name.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		panic(fmt.Sprintf("program %s: duplicate label %q", b.name, name))
+	}
+	b.labels[name] = len(b.code)
+}
+
+// WithClass runs fn with all emitted instructions re-classified as c.
+// Kernels use it to tag, e.g., the XORs of a synthesized permutation as
+// ClassPerm for the Figure 7 operation breakdown.
+func (b *Builder) WithClass(c Class, fn func()) {
+	prev := b.class
+	b.class = &c
+	fn()
+	b.class = prev
+}
+
+func (b *Builder) emit(i Inst) {
+	if b.class != nil {
+		i.Class = *b.class
+	}
+	b.code = append(b.code, i)
+}
+
+func (b *Builder) op3(op Op, ra, rb, rc Reg) {
+	b.emit(Inst{Op: op, Ra: ra, Rb: rb, Rc: rc, Class: P(op).Class})
+}
+
+func (b *Builder) op3i(op Op, ra Reg, lit int64, rc Reg) {
+	if lit < 0 || lit > 255 {
+		panic(fmt.Sprintf("program %s: operate literal %d out of range [0,255] for %s", b.name, lit, op))
+	}
+	b.emit(Inst{Op: op, Ra: ra, UseLit: true, Lit: lit, Rc: rc, Class: P(op).Class})
+}
+
+// --- memory ---
+
+func (b *Builder) mem(op Op, data Reg, disp int64, base Reg) {
+	if disp < -32768 || disp > 32767 {
+		panic(fmt.Sprintf("program %s: displacement %d out of range for %s", b.name, disp, op))
+	}
+	b.emit(Inst{Op: op, Ra: data, Rb: base, Lit: disp, Class: P(op).Class})
+}
+
+func (b *Builder) LDQ(dst Reg, disp int64, base Reg) { b.mem(OpLDQ, dst, disp, base) }
+func (b *Builder) LDL(dst Reg, disp int64, base Reg) { b.mem(OpLDL, dst, disp, base) }
+func (b *Builder) LDW(dst Reg, disp int64, base Reg) { b.mem(OpLDW, dst, disp, base) }
+func (b *Builder) LDB(dst Reg, disp int64, base Reg) { b.mem(OpLDB, dst, disp, base) }
+func (b *Builder) STQ(src Reg, disp int64, base Reg) { b.mem(OpSTQ, src, disp, base) }
+func (b *Builder) STL(src Reg, disp int64, base Reg) { b.mem(OpSTL, src, disp, base) }
+func (b *Builder) STW(src Reg, disp int64, base Reg) { b.mem(OpSTW, src, disp, base) }
+func (b *Builder) STB(src Reg, disp int64, base Reg) { b.mem(OpSTB, src, disp, base) }
+
+// LDA computes dst = base + disp (disp in [-32768, 32767]).
+func (b *Builder) LDA(dst Reg, disp int64, base Reg) {
+	if disp < -32768 || disp > 32767 {
+		panic(fmt.Sprintf("program %s: LDA displacement %d out of range", b.name, disp))
+	}
+	b.emit(Inst{Op: OpLDA, Rb: base, Lit: disp, Rc: dst, Class: ClassArith})
+}
+
+// LDAH computes dst = base + disp*65536.
+func (b *Builder) LDAH(dst Reg, disp int64, base Reg) {
+	if disp < -32768 || disp > 32767 {
+		panic(fmt.Sprintf("program %s: LDAH displacement %d out of range", b.name, disp))
+	}
+	b.emit(Inst{Op: OpLDAH, Rb: base, Lit: disp, Rc: dst, Class: ClassArith})
+}
+
+// --- operate: register and literal forms ---
+
+func (b *Builder) ADDQ(ra, rb, rc Reg)           { b.op3(OpADDQ, ra, rb, rc) }
+func (b *Builder) ADDQI(ra Reg, l int64, rc Reg) { b.op3i(OpADDQ, ra, l, rc) }
+func (b *Builder) SUBQ(ra, rb, rc Reg)           { b.op3(OpSUBQ, ra, rb, rc) }
+func (b *Builder) SUBQI(ra Reg, l int64, rc Reg) { b.op3i(OpSUBQ, ra, l, rc) }
+func (b *Builder) ADDL(ra, rb, rc Reg)           { b.op3(OpADDL, ra, rb, rc) }
+func (b *Builder) ADDLI(ra Reg, l int64, rc Reg) { b.op3i(OpADDL, ra, l, rc) }
+func (b *Builder) SUBL(ra, rb, rc Reg)           { b.op3(OpSUBL, ra, rb, rc) }
+func (b *Builder) SUBLI(ra Reg, l int64, rc Reg) { b.op3i(OpSUBL, ra, l, rc) }
+func (b *Builder) S4ADDQ(ra, rb, rc Reg)         { b.op3(OpS4ADDQ, ra, rb, rc) }
+func (b *Builder) S8ADDQ(ra, rb, rc Reg)         { b.op3(OpS8ADDQ, ra, rb, rc) }
+func (b *Builder) MULQ(ra, rb, rc Reg)           { b.op3(OpMULQ, ra, rb, rc) }
+func (b *Builder) MULL(ra, rb, rc Reg)           { b.op3(OpMULL, ra, rb, rc) }
+func (b *Builder) UMULH(ra, rb, rc Reg)          { b.op3(OpUMULH, ra, rb, rc) }
+
+func (b *Builder) CMPEQ(ra, rb, rc Reg)           { b.op3(OpCMPEQ, ra, rb, rc) }
+func (b *Builder) CMPEQI(ra Reg, l int64, rc Reg) { b.op3i(OpCMPEQ, ra, l, rc) }
+func (b *Builder) CMPULT(ra, rb, rc Reg)          { b.op3(OpCMPULT, ra, rb, rc) }
+func (b *Builder) CMPULTI(ra Reg, l int64, rc Reg) {
+	b.op3i(OpCMPULT, ra, l, rc)
+}
+func (b *Builder) CMPULE(ra, rb, rc Reg) { b.op3(OpCMPULE, ra, rb, rc) }
+func (b *Builder) CMPLT(ra, rb, rc Reg)  { b.op3(OpCMPLT, ra, rb, rc) }
+func (b *Builder) CMPLE(ra, rb, rc Reg)  { b.op3(OpCMPLE, ra, rb, rc) }
+
+func (b *Builder) AND(ra, rb, rc Reg)            { b.op3(OpAND, ra, rb, rc) }
+func (b *Builder) ANDI(ra Reg, l int64, rc Reg)  { b.op3i(OpAND, ra, l, rc) }
+func (b *Builder) BIC(ra, rb, rc Reg)            { b.op3(OpBIC, ra, rb, rc) }
+func (b *Builder) OR(ra, rb, rc Reg)             { b.op3(OpOR, ra, rb, rc) }
+func (b *Builder) ORI(ra Reg, l int64, rc Reg)   { b.op3i(OpOR, ra, l, rc) }
+func (b *Builder) ORNOT(ra, rb, rc Reg)          { b.op3(OpORNOT, ra, rb, rc) }
+func (b *Builder) XOR(ra, rb, rc Reg)            { b.op3(OpXOR, ra, rb, rc) }
+func (b *Builder) XORI(ra Reg, l int64, rc Reg)  { b.op3i(OpXOR, ra, l, rc) }
+func (b *Builder) EQV(ra, rb, rc Reg)            { b.op3(OpEQV, ra, rb, rc) }
+func (b *Builder) SLL(ra, rb, rc Reg)            { b.op3(OpSLL, ra, rb, rc) }
+func (b *Builder) SLLI(ra Reg, l int64, rc Reg)  { b.op3i(OpSLL, ra, l, rc) }
+func (b *Builder) SRL(ra, rb, rc Reg)            { b.op3(OpSRL, ra, rb, rc) }
+func (b *Builder) SRLI(ra Reg, l int64, rc Reg)  { b.op3i(OpSRL, ra, l, rc) }
+func (b *Builder) SRAI(ra Reg, l int64, rc Reg)  { b.op3i(OpSRA, ra, l, rc) }
+func (b *Builder) SLLL(ra, rb, rc Reg)           { b.op3(OpSLLL, ra, rb, rc) }
+func (b *Builder) SLLLI(ra Reg, l int64, rc Reg) { b.op3i(OpSLLL, ra, l, rc) }
+func (b *Builder) SRLL(ra, rb, rc Reg)           { b.op3(OpSRLL, ra, rb, rc) }
+func (b *Builder) SRLLI(ra Reg, l int64, rc Reg) { b.op3i(OpSRLL, ra, l, rc) }
+
+// EXTBI extracts byte #n of ra into rc.
+func (b *Builder) EXTBI(ra Reg, n int64, rc Reg) { b.op3i(OpEXTB, ra, n, rc) }
+
+// EXTB extracts the byte of ra selected by the low 3 bits of rb.
+func (b *Builder) EXTB(ra, rb, rc Reg)           { b.op3(OpEXTB, ra, rb, rc) }
+func (b *Builder) INSBI(ra Reg, n int64, rc Reg) { b.op3i(OpINSB, ra, n, rc) }
+
+func (b *Builder) un(op Op, ra, rc Reg) {
+	b.emit(Inst{Op: op, Ra: ra, Rc: rc, Class: P(op).Class})
+}
+
+func (b *Builder) ZEXTB(ra, rc Reg) { b.un(OpZEXTB, ra, rc) }
+func (b *Builder) ZEXTW(ra, rc Reg) { b.un(OpZEXTW, ra, rc) }
+func (b *Builder) ZEXTL(ra, rc Reg) { b.un(OpZEXTL, ra, rc) }
+func (b *Builder) SEXTL(ra, rc Reg) { b.un(OpSEXTL, ra, rc) }
+
+func (b *Builder) CMOVEQ(ra, rb, rc Reg) { b.op3(OpCMOVEQ, ra, rb, rc) }
+func (b *Builder) CMOVNE(ra, rb, rc Reg) { b.op3(OpCMOVNE, ra, rb, rc) }
+
+// MOV copies ra to rc (assembles as OR ra, rz, rc).
+func (b *Builder) MOV(ra, rc Reg) { b.op3(OpOR, ra, RZ, rc) }
+
+// --- control ---
+
+func (b *Builder) br(op Op, ra Reg, label string) {
+	b.fixups = append(b.fixups, fixup{inst: len(b.code), label: label})
+	b.emit(Inst{Op: op, Ra: ra, Class: ClassControl})
+}
+
+func (b *Builder) BR(label string)          { b.br(OpBR, RZ, label) }
+func (b *Builder) BSR(label string)         { b.br(OpBSR, RZ, label) }
+func (b *Builder) RET()                     { b.emit(Inst{Op: OpRET, Rb: RLNK, Class: ClassControl}) }
+func (b *Builder) BEQ(ra Reg, label string) { b.br(OpBEQ, ra, label) }
+func (b *Builder) BNE(ra Reg, label string) { b.br(OpBNE, ra, label) }
+func (b *Builder) BLT(ra Reg, label string) { b.br(OpBLT, ra, label) }
+func (b *Builder) BLE(ra Reg, label string) { b.br(OpBLE, ra, label) }
+func (b *Builder) BGT(ra Reg, label string) { b.br(OpBGT, ra, label) }
+func (b *Builder) BGE(ra Reg, label string) { b.br(OpBGE, ra, label) }
+func (b *Builder) HALT()                    { b.emit(Inst{Op: OpHALT, Class: ClassControl}) }
+func (b *Builder) NOP()                     { b.emit(Inst{Op: OpNOP, Class: ClassArith}) }
+
+// --- crypto extension primitives (panic if the feature level lacks them) ---
+
+func (b *Builder) needRot() {
+	if !b.Feat.HWRotate {
+		panic(fmt.Sprintf("program %s: rotate instruction used without HWRotate", b.name))
+	}
+}
+
+func (b *Builder) needExt() {
+	if !b.Feat.CryptoExt {
+		panic(fmt.Sprintf("program %s: crypto extension used without CryptoExt", b.name))
+	}
+}
+
+func (b *Builder) ROLL(ra, rb, rc Reg) { b.needRot(); b.op3(OpROLL, ra, rb, rc) }
+func (b *Builder) RORL(ra, rb, rc Reg) { b.needRot(); b.op3(OpRORL, ra, rb, rc) }
+func (b *Builder) ROLLI(ra Reg, l int64, rc Reg) {
+	b.needRot()
+	b.op3i(OpROLL, ra, l&31, rc)
+}
+func (b *Builder) RORLI(ra Reg, l int64, rc Reg) {
+	b.needRot()
+	b.op3i(OpRORL, ra, l&31, rc)
+}
+func (b *Builder) ROLQI(ra Reg, l int64, rc Reg) {
+	b.needRot()
+	b.op3i(OpROLQ, ra, l&63, rc)
+}
+func (b *Builder) RORQI(ra Reg, l int64, rc Reg) {
+	b.needRot()
+	b.op3i(OpRORQ, ra, l&63, rc)
+}
+
+// ROLXL computes rc = (ra <<< l) ^ rc (32-bit).
+func (b *Builder) ROLXL(ra Reg, l int64, rc Reg) {
+	b.needExt()
+	b.emit(Inst{Op: OpROLXL, Ra: ra, UseLit: true, Lit: l & 31, Rc: rc, Class: ClassRotate})
+}
+
+// RORXL computes rc = (ra >>> l) ^ rc (32-bit).
+func (b *Builder) RORXL(ra Reg, l int64, rc Reg) {
+	b.needExt()
+	b.emit(Inst{Op: OpRORXL, Ra: ra, UseLit: true, Lit: l & 31, Rc: rc, Class: ClassRotate})
+}
+
+// MULMODR computes rc = ra (*) rb mod 2^16+1 in the IDEA convention.
+func (b *Builder) MULMODR(ra, rb, rc Reg) { b.needExt(); b.op3(OpMULMOD, ra, rb, rc) }
+
+// SBOX emits the S-box lookup instruction: rc = table[byte #byteSel of idx].
+func (b *Builder) SBOX(tbl, byteSel int, base, idx, rc Reg, aliased bool) {
+	b.needExt()
+	if tbl < 0 || tbl > 15 || byteSel < 0 || byteSel > 7 {
+		panic(fmt.Sprintf("program %s: SBOX selectors out of range (%d,%d)", b.name, tbl, byteSel))
+	}
+	cl := ClassSubst
+	if b.class != nil {
+		cl = *b.class
+	}
+	b.emit(Inst{Op: OpSBOX, Ra: idx, Rb: base, Rc: rc,
+		Sel1: uint8(tbl), Sel2: uint8(byteSel), Aliased: aliased, Class: cl})
+}
+
+// SBOXSYNC publishes S-box stores; tbl may be SboxAll.
+func (b *Builder) SBOXSYNC(tbl int) {
+	b.needExt()
+	b.emit(Inst{Op: OpSBOXSYNC, Sel1: uint8(tbl), Class: ClassSubst})
+}
+
+// XBOX emits the partial-permutation instruction writing byte #dstByte of rc.
+func (b *Builder) XBOX(dstByte int, src, pmap, rc Reg) {
+	b.needExt()
+	if dstByte < 0 || dstByte > 7 {
+		panic(fmt.Sprintf("program %s: XBOX byte %d out of range", b.name, dstByte))
+	}
+	b.emit(Inst{Op: OpXBOX, Ra: src, Rb: pmap, Rc: rc, Sel1: uint8(dstByte), Class: ClassPerm})
+}
+
+// --- rodata / constants ---
+
+// Const64 interns v in the program's read-only data segment and returns its
+// RGP-relative offset.
+func (b *Builder) Const64(v uint64) int64 {
+	if off, ok := b.pool[v]; ok {
+		return off
+	}
+	for len(b.rodata)%8 != 0 {
+		b.rodata = append(b.rodata, 0)
+	}
+	off := int64(len(b.rodata))
+	b.rodata = binary.LittleEndian.AppendUint64(b.rodata, v)
+	b.pool[v] = off
+	return off
+}
+
+// DataWords32 appends a static 32-bit word table to the program rodata
+// (4-byte aligned) and returns its RGP-relative offset.
+func (b *Builder) DataWords32(words []uint32) int64 {
+	for len(b.rodata)%4 != 0 {
+		b.rodata = append(b.rodata, 0)
+	}
+	off := int64(len(b.rodata))
+	for _, w := range words {
+		b.rodata = binary.LittleEndian.AppendUint32(b.rodata, w)
+	}
+	return off
+}
+
+// DataBytes appends raw bytes to the program rodata and returns the
+// RGP-relative offset.
+func (b *Builder) DataBytes(p []byte) int64 {
+	off := int64(len(b.rodata))
+	b.rodata = append(b.rodata, p...)
+	return off
+}
+
+// LoadConst64 loads the 64-bit constant v into dst via the literal pool.
+func (b *Builder) LoadConst64(dst Reg, v uint64) {
+	off := b.Const64(v)
+	if off > 32767 {
+		panic(fmt.Sprintf("program %s: rodata pool overflow", b.name))
+	}
+	b.LDQ(dst, off, RGP)
+}
+
+// LoadImm materializes an immediate into dst using the cheapest encoding:
+// one LDA, an LDAH/LDA pair, or a pool load.
+func (b *Builder) LoadImm(dst Reg, v int64) {
+	if v >= -32768 && v <= 32767 {
+		b.LDA(dst, v, RZ)
+		return
+	}
+	lo := int64(int16(v))
+	hi := (v - lo) >> 16
+	if hi >= -32768 && hi <= 32767 && hi<<16+lo == v {
+		b.LDAH(dst, hi, RZ)
+		if lo != 0 {
+			b.LDA(dst, lo, dst)
+		}
+		return
+	}
+	b.LoadConst64(dst, uint64(v))
+}
+
+// LoadImm32 materializes a 32-bit constant zero-extended into dst.
+func (b *Builder) LoadImm32(dst Reg, v uint32) {
+	if v <= 32767 {
+		b.LDA(dst, int64(v), RZ)
+		return
+	}
+	s := int64(int32(v))
+	if s >= 0 {
+		b.LoadImm(dst, s)
+		return
+	}
+	// Negative when sign-extended: build then zero-extend, or pool it.
+	b.LoadConst64(dst, uint64(v))
+}
+
+// --- macros ---
+
+// RotL32I sets dst = src <<< k (32-bit, k constant). Uses ROL when
+// available, otherwise the paper's 3-instruction shift synthesis
+// (2 cycles). src and dst must differ in the synthesized form; tmp must
+// differ from src.
+func (b *Builder) RotL32I(src Reg, k int64, dst, tmp Reg) {
+	k &= 31
+	if b.Feat.HWRotate {
+		b.ROLLI(src, k, dst)
+		return
+	}
+	if k == 0 {
+		b.MOV(src, dst)
+		return
+	}
+	if tmp == src || tmp == dst {
+		panic(fmt.Sprintf("program %s: RotL32I synthesis needs a distinct tmp", b.name))
+	}
+	b.WithClass(ClassRotate, func() {
+		b.SLLLI(src, k, tmp)
+		b.SRLLI(src, 32-k, dst) // safe when dst == src: single instruction
+		b.OR(dst, tmp, dst)
+	})
+}
+
+// RotR32I sets dst = src >>> k.
+func (b *Builder) RotR32I(src Reg, k int64, dst, tmp Reg) {
+	k &= 31
+	if b.Feat.HWRotate {
+		b.RORLI(src, k, dst)
+		return
+	}
+	b.RotL32I(src, (32-k)&31, dst, tmp)
+}
+
+// RotL32V sets dst = src <<< amt (32-bit, register amount). Uses ROL when
+// available, otherwise the paper's 4-instruction synthesis (3 cycles):
+// the complement amount is computed with SUBL, then two shifts and an OR.
+// dst must differ from src and amt in the synthesized form.
+func (b *Builder) RotL32V(src, amt Reg, dst, tmp Reg) {
+	if b.Feat.HWRotate {
+		b.ROLL(src, amt, dst)
+		return
+	}
+	if dst == src || dst == amt || tmp == src || tmp == amt || tmp == dst {
+		panic(fmt.Sprintf("program %s: RotL32V register conflict", b.name))
+	}
+	b.WithClass(ClassRotate, func() {
+		b.SUBL(RZ, amt, tmp) // -amt; SRLL masks the amount to mod 32
+		b.SRLL(src, tmp, tmp)
+		b.SLLL(src, amt, dst)
+		b.OR(dst, tmp, dst)
+	})
+}
+
+// RotR32V sets dst = src >>> amt (32-bit, register amount).
+func (b *Builder) RotR32V(src, amt Reg, dst, tmp Reg) {
+	if b.Feat.HWRotate {
+		b.RORL(src, amt, dst)
+		return
+	}
+	if dst == src || dst == amt || tmp == src || tmp == amt || tmp == dst {
+		panic(fmt.Sprintf("program %s: RotR32V register conflict", b.name))
+	}
+	b.WithClass(ClassRotate, func() {
+		b.SUBL(RZ, amt, tmp)
+		b.SLLL(src, tmp, tmp)
+		b.SRLL(src, amt, dst)
+		b.OR(dst, tmp, dst)
+	})
+}
+
+// XorRotL32I sets acc ^= (src <<< k). One ROLX instruction at the full
+// extension level, ROL+XOR with hardware rotates, and otherwise four
+// instructions that fold the two rotate halves into the accumulator
+// separately (acc ^= src<<k; acc ^= src>>(32-k)). tmp must differ from acc
+// and src.
+func (b *Builder) XorRotL32I(src Reg, k int64, acc, tmp Reg) {
+	k &= 31
+	if b.Feat.CryptoExt {
+		b.ROLXL(src, k, acc)
+		return
+	}
+	if b.Feat.HWRotate {
+		b.ROLLI(src, k, tmp)
+		b.WithClass(ClassRotate, func() { b.XOR(acc, tmp, acc) })
+		return
+	}
+	if k == 0 {
+		b.WithClass(ClassRotate, func() { b.XOR(acc, src, acc) })
+		return
+	}
+	if tmp == acc || tmp == src {
+		panic(fmt.Sprintf("program %s: XorRotL32I register conflict", b.name))
+	}
+	b.WithClass(ClassRotate, func() {
+		b.SLLLI(src, k, tmp)
+		b.XOR(acc, tmp, acc)
+		b.SRLLI(src, 32-k, tmp)
+		b.XOR(acc, tmp, acc)
+	})
+}
+
+// XorRotR32I sets acc ^= (src >>> k); see XorRotL32I.
+func (b *Builder) XorRotR32I(src Reg, k int64, acc, tmp Reg) {
+	b.XorRotL32I(src, (32-k)&31, acc, tmp)
+}
+
+// SBoxLookup loads dst = table[byte #byteSel of idx] where table is a
+// 256-entry, 1KB-aligned table of 32-bit words based at base. With the
+// extensions this is one 2-cycle SBOX; without, the paper's 3-instruction
+// load sequence (EXTB, S4ADDQ, LDL; 5 cycles). tmp must differ from base
+// and idx.
+func (b *Builder) SBoxLookup(tbl, byteSel int, base, idx, dst, tmp Reg, aliased bool) {
+	if b.Feat.CryptoExt {
+		b.SBOX(tbl, byteSel, base, idx, dst, aliased)
+		return
+	}
+	b.WithClass(ClassSubst, func() {
+		b.EXTBI(idx, int64(byteSel), tmp)
+		b.S4ADDQ(tmp, base, tmp)
+		b.LDL(dst, 0, tmp)
+	})
+}
+
+// SBoxXor sets acc ^= table[byte #byteSel of idx]; see SBoxLookup.
+// tmp1 receives the loaded value and must differ from acc.
+func (b *Builder) SBoxXor(tbl, byteSel int, base, idx, acc, tmp1 Reg) {
+	b.SBoxLookup(tbl, byteSel, base, idx, tmp1, tmp1, false)
+	b.WithClass(ClassSubst, func() { b.XOR(acc, tmp1, acc) })
+}
+
+// MulMod16 sets dst = a (*) bsrc, IDEA multiplication modulo 2^16+1 where a
+// 16-bit zero denotes 2^16. With the extensions this is one 4-cycle MULMOD.
+// Otherwise it expands to the branch-free low-high decomposition
+// (Lai [18]) with CMOV-based zero-operand handling:
+//
+//	t  = a*b; r = lo16(t) - hi16(t) + (lo<hi)
+//	if a == 0 { r = 1 - b }; if b == 0 { r = 1 - a }
+//
+// a and bsrc must already be canonical 16-bit values. one must hold the
+// constant 1. t1..t3 are scratch and must be distinct from a, bsrc, one
+// and each other; dst may alias a or bsrc.
+func (b *Builder) MulMod16(a, bsrc, dst, one, t1, t2, t3 Reg) {
+	if b.Feat.CryptoExt {
+		b.MULMODR(a, bsrc, dst)
+		return
+	}
+	for _, t := range []Reg{t1, t2, t3} {
+		if t == a || t == bsrc || t == one {
+			panic(fmt.Sprintf("program %s: MulMod16 scratch aliases an input", b.name))
+		}
+	}
+	b.WithClass(ClassMult, func() {
+		b.MULL(a, bsrc, t1)   // 32-bit product
+		b.SRLLI(t1, 16, t2)   // hi
+		b.ZEXTW(t1, t1)       // lo
+		b.CMPULT(t1, t2, t3)  // lo < hi
+		b.SUBL(t1, t2, t1)    // lo - hi
+		b.ADDL(t1, t3, t1)    // + carry
+		b.ZEXTW(t1, t1)       // canonical 16-bit
+		b.SUBL(one, bsrc, t2) // 1 - b
+		b.ZEXTW(t2, t2)
+		b.CMOVEQ(a, t2, t1) // a == 0
+		b.SUBL(one, a, t2)  // 1 - a
+		b.ZEXTW(t2, t2)
+		b.CMOVEQ(bsrc, t2, t1) // b == 0
+		b.MOV(t1, dst)
+	})
+}
+
+// XboxMap packs eight 6-bit source bit indices (destination bit j of the
+// selected byte takes source bit bits[j]) into an XBOX permutation-map
+// register value.
+func XboxMap(bits [8]uint8) uint64 {
+	var m uint64
+	for j, idx := range bits {
+		if idx > 63 {
+			panic("XboxMap: bit index out of range")
+		}
+		m |= uint64(idx) << (6 * j)
+	}
+	return m
+}

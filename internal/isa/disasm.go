@@ -1,0 +1,84 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disasm renders one instruction in a readable assembly syntax.
+func Disasm(i *Inst) string {
+	p := P(i.Op)
+	src2 := func() string {
+		if i.UseLit {
+			return fmt.Sprintf("#%d", i.Lit)
+		}
+		return regName(i.Rb)
+	}
+	switch {
+	case i.Op == OpHALT || i.Op == OpNOP:
+		return p.Name
+	case i.Op == OpSBOXSYNC:
+		if i.Sel1 == SboxAll {
+			return "sboxsync.all"
+		}
+		return fmt.Sprintf("sboxsync.%d", i.Sel1)
+	case i.Op == OpSBOX:
+		al := ""
+		if i.Aliased {
+			al = ".a"
+		}
+		return fmt.Sprintf("sbox.%d.%d%s %s, %s, %s",
+			i.Sel1, i.Sel2, al, regName(i.Rb), regName(i.Ra), regName(i.Rc))
+	case i.Op == OpXBOX:
+		return fmt.Sprintf("xbox.%d %s, %s, %s",
+			i.Sel1, regName(i.Ra), regName(i.Rb), regName(i.Rc))
+	case p.Load:
+		return fmt.Sprintf("%s %s, %d(%s)", p.Name, regName(i.Ra), i.Lit, regName(i.Rb))
+	case p.Store:
+		return fmt.Sprintf("%s %s, %d(%s)", p.Name, regName(i.Ra), i.Lit, regName(i.Rb))
+	case i.Op == OpLDA || i.Op == OpLDAH:
+		return fmt.Sprintf("%s %s, %d(%s)", p.Name, regName(i.Rc), i.Lit, regName(i.Rb))
+	case i.Op == OpBR || i.Op == OpBSR:
+		return fmt.Sprintf("%s @%d", p.Name, i.Lit)
+	case i.Op == OpRET:
+		return fmt.Sprintf("ret (%s)", regName(i.Rb))
+	case p.CondBr:
+		return fmt.Sprintf("%s %s, @%d", p.Name, regName(i.Ra), i.Lit)
+	case i.Op == OpZEXTB || i.Op == OpZEXTW || i.Op == OpZEXTL || i.Op == OpSEXTL:
+		return fmt.Sprintf("%s %s, %s", p.Name, regName(i.Ra), regName(i.Rc))
+	default:
+		return fmt.Sprintf("%s %s, %s, %s", p.Name, regName(i.Ra), src2(), regName(i.Rc))
+	}
+}
+
+func regName(r Reg) string {
+	switch r {
+	case RZ:
+		return "rz"
+	case RGP:
+		return "gp"
+	case RSP:
+		return "sp"
+	case RLNK:
+		return "ra"
+	}
+	return fmt.Sprintf("r%d", uint8(r))
+}
+
+// Listing renders a whole program with labels and instruction indices.
+func Listing(p *Program) string {
+	byIdx := map[int][]string{}
+	for name, idx := range p.Labels {
+		byIdx[idx] = append(byIdx[idx], name)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "; program %s: %d instructions, %d bytes rodata\n",
+		p.Name, len(p.Code), len(p.Rodata))
+	for i := range p.Code {
+		for _, l := range byIdx[i] {
+			fmt.Fprintf(&b, "%s:\n", l)
+		}
+		fmt.Fprintf(&b, "%5d:  %s\n", i, Disasm(&p.Code[i]))
+	}
+	return b.String()
+}

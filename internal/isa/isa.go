@@ -1,0 +1,398 @@
+// Package isa defines AXP64, the Alpha-like 64-bit RISC instruction set used
+// by this reproduction of "Architectural Support for Fast Symmetric-Key
+// Cryptography" (ASPLOS 2000), including the paper's cryptographic
+// instruction-set extensions (ROL/ROR, ROLX/RORX, MULMOD, SBOX, SBOXSYNC,
+// XBOX).
+//
+// Programs are sequences of Inst values. The functional semantics live in
+// internal/emu; cycle-level timing lives in internal/ooo. Instruction
+// addresses are modeled as CodeBase + 4*index so that instruction-cache
+// behaviour is meaningful.
+package isa
+
+import "fmt"
+
+// Reg names an architectural integer register, r0..r31. R31 reads as zero
+// and discards writes, as on Alpha.
+type Reg uint8
+
+// Architectural register assignments follow a simplified Alpha calling
+// convention; see the constants below.
+const (
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+	R16
+	R17
+	R18
+	R19
+	R20
+	R21
+	R22
+	R23
+	R24
+	R25
+	R26
+	R27
+	R28
+	R29
+	R30
+	R31
+
+	RA0  = R16 // first argument: input buffer address
+	RA1  = R17 // second argument: output buffer address
+	RA2  = R18 // third argument: byte length
+	RA3  = R19 // fourth argument: cipher context address
+	RLNK = R26 // subroutine link register
+	RGP  = R29 // global pointer: program rodata segment
+	RSP  = R30 // stack pointer
+	RZ   = R31 // hardwired zero
+)
+
+// NumRegs is the architectural integer register count.
+const NumRegs = 32
+
+// Op enumerates AXP64 opcodes.
+type Op uint8
+
+const (
+	OpInvalid Op = iota
+
+	// Memory operations: Ra is the destination (loads) or the store data
+	// register (stores); the effective address is REG[Rb] + Lit.
+	// All loads zero-extend.
+	OpLDQ // 64-bit load
+	OpLDL // 32-bit load, zero-extended
+	OpLDW // 16-bit load, zero-extended
+	OpLDB // 8-bit load, zero-extended
+	OpSTQ // 64-bit store
+	OpSTL // 32-bit store
+	OpSTW // 16-bit store
+	OpSTB // 8-bit store
+
+	// Constant construction: Rc = REG[Rb] + Lit, Rc = REG[Rb] + Lit<<16.
+	OpLDA
+	OpLDAH
+
+	// Integer arithmetic. L-suffixed operations compute on the low 32 bits
+	// and zero-extend the result (a deliberate simplification of Alpha's
+	// sign-extending longword convention that keeps 32-bit cipher state
+	// canonical in registers).
+	OpADDQ
+	OpSUBQ
+	OpADDL
+	OpSUBL
+	OpS4ADDQ // Rc = 4*REG[Ra] + src2 (S-box address scaling)
+	OpS8ADDQ // Rc = 8*REG[Ra] + src2
+	OpMULQ   // 64-bit multiply, low word
+	OpMULL   // 32-bit multiply, zero-extended
+	OpUMULH  // 64-bit multiply, high word
+
+	// Comparisons produce 0 or 1.
+	OpCMPEQ
+	OpCMPULT
+	OpCMPULE
+	OpCMPLT // signed 64-bit
+	OpCMPLE
+
+	// Logic.
+	OpAND
+	OpBIC // a &^ b
+	OpOR
+	OpORNOT // a | ^b
+	OpXOR
+	OpEQV // a ^ ^b
+
+	// Shifts. Q-forms are 64-bit (amount mod 64); L-forms shift within the
+	// low 32 bits and zero-extend (amount mod 32).
+	OpSLL
+	OpSRL
+	OpSRA
+	OpSLLL
+	OpSRLL
+
+	// Byte manipulation (Alpha EXTBL/INSBL analogues).
+	OpEXTB  // Rc = (REG[Ra] >> 8*src2) & 0xff  (src2: literal or register, mod 8)
+	OpINSB  // Rc = (REG[Ra] & 0xff) << 8*src2
+	OpZEXTB // Rc = REG[Ra] & 0xff
+	OpZEXTW // Rc = REG[Ra] & 0xffff
+	OpZEXTL // Rc = REG[Ra] & 0xffffffff
+	OpSEXTL // Rc = sign-extend low 32 bits
+
+	// Conditional moves. Rc is both read and written (as on Alpha, where
+	// CMOV is cracked into two operations internally).
+	OpCMOVEQ // if REG[Ra] == 0 { Rc = src2 }
+	OpCMOVNE // if REG[Ra] != 0 { Rc = src2 }
+
+	// Control. Conditional branches test Ra against zero (signed).
+	// Branch targets are instruction indices held in Lit.
+	OpBR  // unconditional
+	OpBSR // branch subroutine: RLNK = return index, jump
+	OpRET // jump to REG[Rb] (conventionally RLNK)
+	OpBEQ
+	OpBNE
+	OpBLT
+	OpBLE
+	OpBGT
+	OpBGE
+
+	OpHALT // terminate program
+	OpNOP
+
+	// --- Cryptographic ISA extensions (the paper's contribution) ---
+
+	// Rotates: Rc = REG[Ra] rotated by src2 (register amount masked to the
+	// data width, or an instruction literal).
+	OpROLQ
+	OpRORQ
+	OpROLL // 32-bit rotate, result zero-extended
+	OpRORL
+
+	// Rotate-and-XOR: Rc = (REG[Ra] <<< Lit) ^ REG[Rc]. Two register reads
+	// (Ra and the old Rc) plus an instruction literal, as in the paper.
+	OpROLXL
+	OpRORXL
+	OpROLXQ
+	OpRORXQ
+
+	// MULMOD: Rc = (REG[Ra] * src2) mod 0x10001 in the IDEA convention
+	// (a 16-bit operand value of 0 denotes 2^16; a result of 2^16 is
+	// stored as 0).
+	OpMULMOD
+
+	// SBOX: Rc = MEM32[(REG[Rb] & ^0x3ff) | (byte Sel2 of REG[Ra]) << 2].
+	// Sel1 names the architectural S-box table (scheduling hint for the
+	// S-box caches); Aliased marks RC4-style tables that observe stores.
+	OpSBOX
+	// SBOXSYNC: publish stores to S-box storage; invalidates S-box caches.
+	// Sel1 names the table (or SboxAll).
+	OpSBOXSYNC
+
+	// XBOX: partial general permutation. REG[Rb] packs eight 6-bit source
+	// bit indices; byte Sel1 of Rc receives the selected bits of REG[Ra],
+	// all other result bits are zero.
+	OpXBOX
+
+	opMax
+)
+
+// SboxAll as an SBOXSYNC table selector synchronizes every table.
+const SboxAll = 0xff
+
+// Class buckets dynamic instructions for the paper's Figure 7 operation
+// characterization.
+type Class uint8
+
+const (
+	ClassArith   Class = iota // additions, compares, address arithmetic
+	ClassLogic                // XOR and friends
+	ClassRotate               // rotates, incl. instructions synthesizing one
+	ClassMult                 // integer multiplies, MULMOD
+	ClassSubst                // S-box lookups (however implemented)
+	ClassPerm                 // general bit permutations
+	ClassMem                  // loads/stores not part of a substitution
+	ClassControl              // branches, jumps
+	NumClasses
+)
+
+var classNames = [NumClasses]string{
+	"arith", "logic", "rotate", "mult", "subst", "perm", "ldst", "control",
+}
+
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// Inst is one AXP64 instruction.
+//
+// Operand conventions:
+//   - operate format: Rc = Ra op src2, where src2 is REG[Rb] or, when
+//     UseLit is set, the literal Lit;
+//   - memory format: Ra = data/destination, address = REG[Rb] + Lit;
+//   - branch format: test Ra, target instruction index in Lit.
+type Inst struct {
+	Op      Op
+	Ra, Rb  Reg
+	Rc      Reg
+	UseLit  bool
+	Lit     int64
+	Sel1    uint8 // SBOX/SBOXSYNC table number, XBOX destination byte
+	Sel2    uint8 // SBOX index-byte selector
+	Aliased bool  // SBOX aliased flag (stores visible)
+	Class   Class
+}
+
+// Program is an assembled AXP64 routine plus its read-only data segment.
+type Program struct {
+	Name   string
+	Code   []Inst
+	Labels map[string]int
+	// Rodata is mapped at the address passed to the program in RGP.
+	// XBOX permutation maps and wide constants live here.
+	Rodata []byte
+}
+
+// MustLabel returns the instruction index of a label, panicking if absent.
+func (p *Program) MustLabel(name string) int {
+	i, ok := p.Labels[name]
+	if !ok {
+		panic(fmt.Sprintf("program %s: no label %q", p.Name, name))
+	}
+	return i
+}
+
+// Props describes static properties of an opcode used by the emulator,
+// timing model, and assembler.
+type Props struct {
+	Name    string
+	Load    bool
+	Store   bool
+	Branch  bool // any control transfer
+	CondBr  bool
+	Uncond  bool // BR/BSR/RET
+	WritesC bool // writes Rc
+	ReadsA  bool
+	ReadsB  bool // reads Rb when !UseLit (operate) or always (memory base, RET)
+	ReadsC  bool // CMOV and ROLX forms read old Rc
+	Mem     bool
+	Size    uint8 // memory access size in bytes
+	Class   Class // default classification
+}
+
+var props [opMax]Props
+
+// P returns the static properties of op.
+func P(op Op) *Props { return &props[op] }
+
+func def(op Op, p Props) { props[op] = p }
+
+func init() {
+	mem := func(op Op, name string, size uint8, store bool) {
+		p := Props{Name: name, Mem: true, Size: size, Class: ClassMem}
+		if store {
+			p.Store = true
+			p.ReadsA = true
+			p.ReadsB = true
+		} else {
+			p.Load = true
+			p.WritesC = false
+			p.ReadsB = true
+			// loads write Ra by convention
+		}
+		def(op, p)
+	}
+	mem(OpLDQ, "ldq", 8, false)
+	mem(OpLDL, "ldl", 4, false)
+	mem(OpLDW, "ldw", 2, false)
+	mem(OpLDB, "ldb", 1, false)
+	mem(OpSTQ, "stq", 8, true)
+	mem(OpSTL, "stl", 4, true)
+	mem(OpSTW, "stw", 2, true)
+	mem(OpSTB, "stb", 1, true)
+
+	opr := func(op Op, name string, class Class) {
+		def(op, Props{Name: name, WritesC: true, ReadsA: true, ReadsB: true, Class: class})
+	}
+	def(OpLDA, Props{Name: "lda", WritesC: true, ReadsB: true, Class: ClassArith})
+	def(OpLDAH, Props{Name: "ldah", WritesC: true, ReadsB: true, Class: ClassArith})
+
+	opr(OpADDQ, "addq", ClassArith)
+	opr(OpSUBQ, "subq", ClassArith)
+	opr(OpADDL, "addl", ClassArith)
+	opr(OpSUBL, "subl", ClassArith)
+	opr(OpS4ADDQ, "s4addq", ClassArith)
+	opr(OpS8ADDQ, "s8addq", ClassArith)
+	opr(OpMULQ, "mulq", ClassMult)
+	opr(OpMULL, "mull", ClassMult)
+	opr(OpUMULH, "umulh", ClassMult)
+	opr(OpCMPEQ, "cmpeq", ClassArith)
+	opr(OpCMPULT, "cmpult", ClassArith)
+	opr(OpCMPULE, "cmpule", ClassArith)
+	opr(OpCMPLT, "cmplt", ClassArith)
+	opr(OpCMPLE, "cmple", ClassArith)
+	opr(OpAND, "and", ClassLogic)
+	opr(OpBIC, "bic", ClassLogic)
+	opr(OpOR, "or", ClassLogic)
+	opr(OpORNOT, "ornot", ClassLogic)
+	opr(OpXOR, "xor", ClassLogic)
+	opr(OpEQV, "eqv", ClassLogic)
+	opr(OpSLL, "sll", ClassLogic)
+	opr(OpSRL, "srl", ClassLogic)
+	opr(OpSRA, "sra", ClassLogic)
+	opr(OpSLLL, "slll", ClassLogic)
+	opr(OpSRLL, "srll", ClassLogic)
+	opr(OpEXTB, "extb", ClassLogic)
+	opr(OpINSB, "insb", ClassLogic)
+
+	un := func(op Op, name string, class Class) {
+		def(op, Props{Name: name, WritesC: true, ReadsA: true, Class: class})
+	}
+	un(OpZEXTB, "zextb", ClassLogic)
+	un(OpZEXTW, "zextw", ClassLogic)
+	un(OpZEXTL, "zextl", ClassLogic)
+	un(OpSEXTL, "sextl", ClassLogic)
+
+	cmov := func(op Op, name string) {
+		def(op, Props{Name: name, WritesC: true, ReadsA: true, ReadsB: true, ReadsC: true, Class: ClassArith})
+	}
+	cmov(OpCMOVEQ, "cmoveq")
+	cmov(OpCMOVNE, "cmovne")
+
+	def(OpBR, Props{Name: "br", Branch: true, Uncond: true, Class: ClassControl})
+	def(OpBSR, Props{Name: "bsr", Branch: true, Uncond: true, Class: ClassControl})
+	def(OpRET, Props{Name: "ret", Branch: true, Uncond: true, ReadsB: true, Class: ClassControl})
+	cbr := func(op Op, name string) {
+		def(op, Props{Name: name, Branch: true, CondBr: true, ReadsA: true, Class: ClassControl})
+	}
+	cbr(OpBEQ, "beq")
+	cbr(OpBNE, "bne")
+	cbr(OpBLT, "blt")
+	cbr(OpBLE, "ble")
+	cbr(OpBGT, "bgt")
+	cbr(OpBGE, "bge")
+
+	def(OpHALT, Props{Name: "halt", Class: ClassControl})
+	def(OpNOP, Props{Name: "nop", Class: ClassArith})
+
+	opr(OpROLQ, "rolq", ClassRotate)
+	opr(OpRORQ, "rorq", ClassRotate)
+	opr(OpROLL, "roll", ClassRotate)
+	opr(OpRORL, "rorl", ClassRotate)
+
+	rx := func(op Op, name string) {
+		def(op, Props{Name: name, WritesC: true, ReadsA: true, ReadsC: true, Class: ClassRotate})
+	}
+	rx(OpROLXL, "rolxl")
+	rx(OpRORXL, "rorxl")
+	rx(OpROLXQ, "rolxq")
+	rx(OpRORXQ, "rorxq")
+
+	opr(OpMULMOD, "mulmod", ClassMult)
+
+	def(OpSBOX, Props{Name: "sbox", WritesC: true, ReadsA: true, ReadsB: true, Load: true, Mem: true, Size: 4, Class: ClassSubst})
+	def(OpSBOXSYNC, Props{Name: "sboxsync", Class: ClassSubst})
+	def(OpXBOX, Props{Name: "xbox", WritesC: true, ReadsA: true, ReadsB: true, Class: ClassPerm})
+}
+
+func (op Op) String() string {
+	if op < opMax && props[op].Name != "" {
+		return props[op].Name
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}

@@ -1,0 +1,184 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpProperties(t *testing.T) {
+	if !P(OpLDQ).Load || P(OpLDQ).Size != 8 {
+		t.Fatal("LDQ properties wrong")
+	}
+	if !P(OpSTB).Store || P(OpSTB).Size != 1 {
+		t.Fatal("STB properties wrong")
+	}
+	if !P(OpBEQ).CondBr || !P(OpBEQ).Branch {
+		t.Fatal("BEQ properties wrong")
+	}
+	if P(OpXBOX).Class != ClassPerm || P(OpMULMOD).Class != ClassMult {
+		t.Fatal("crypto op classes wrong")
+	}
+	for op := OpLDQ; op < opMax; op++ {
+		if P(op).Name == "" {
+			t.Fatalf("opcode %d has no name", op)
+		}
+	}
+}
+
+func TestDestAndSources(t *testing.T) {
+	ld := Inst{Op: OpLDL, Ra: R5, Rb: R6, Lit: 8}
+	if ld.Dest() != R5 {
+		t.Fatal("load dest must be Ra")
+	}
+	if src := ld.Sources(nil); len(src) != 1 || src[0] != R6 {
+		t.Fatalf("load sources: %v", src)
+	}
+	st := Inst{Op: OpSTL, Ra: R5, Rb: R6}
+	if st.Dest() != RZ {
+		t.Fatal("store writes nothing")
+	}
+	if src := st.Sources(nil); len(src) != 2 {
+		t.Fatalf("store sources: %v", src)
+	}
+	add := Inst{Op: OpADDQ, Ra: R1, Rb: R2, Rc: R3}
+	if add.Dest() != R3 || len(add.Sources(nil)) != 2 {
+		t.Fatal("operate format wrong")
+	}
+	addi := Inst{Op: OpADDQ, Ra: R1, UseLit: true, Lit: 5, Rc: R3}
+	if len(addi.Sources(nil)) != 1 {
+		t.Fatal("literal operand must not read Rb")
+	}
+	cmov := Inst{Op: OpCMOVEQ, Ra: R1, Rb: R2, Rc: R3}
+	if len(cmov.Sources(nil)) != 3 {
+		t.Fatal("CMOV reads the old destination")
+	}
+	rolx := Inst{Op: OpROLXL, Ra: R1, UseLit: true, Lit: 3, Rc: R3}
+	if len(rolx.Sources(nil)) != 2 {
+		t.Fatal("ROLX reads source and old destination")
+	}
+	// RZ never appears as a source or destination.
+	z := Inst{Op: OpADDQ, Ra: RZ, Rb: RZ, Rc: RZ}
+	if z.Dest() != RZ || len(z.Sources(nil)) != 0 {
+		t.Fatal("RZ filtering broken")
+	}
+}
+
+func TestBuilderLabels(t *testing.T) {
+	b := NewBuilder("p", FeatRot)
+	b.Label("start")
+	b.BR("end")
+	b.NOP()
+	b.Label("end")
+	b.HALT()
+	p := b.Build()
+	if p.MustLabel("end") != 2 || p.Code[0].Lit != 2 {
+		t.Fatalf("label resolution: %+v", p.Code[0])
+	}
+}
+
+func TestBuilderUndefinedLabelPanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil || !strings.Contains(r.(string), "undefined label") {
+			t.Fatalf("expected undefined-label panic, got %v", r)
+		}
+	}()
+	b := NewBuilder("p", FeatRot)
+	b.BR("nowhere")
+	b.Build()
+}
+
+func TestFeatureGating(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ROL without HWRotate must panic")
+		}
+	}()
+	b := NewBuilder("p", FeatNoRot)
+	b.ROLLI(R1, 3, R2)
+}
+
+func TestMacroExpansionCounts(t *testing.T) {
+	// The paper's stated costs: constant rotate = 1/1/3 instructions at
+	// opt/rot/norot; variable rotate = 1/1/4; S-box lookup = 1/3/3.
+	count := func(feat Feature, emit func(b *Builder)) int {
+		b := NewBuilder("c", feat)
+		emit(b)
+		return b.Len()
+	}
+	rotI := func(b *Builder) { b.RotL32I(R1, 5, R2, R3) }
+	if n := count(FeatOpt, rotI); n != 1 {
+		t.Errorf("opt const rotate: %d instructions", n)
+	}
+	if n := count(FeatNoRot, rotI); n != 3 {
+		t.Errorf("norot const rotate: %d instructions (paper: 3)", n)
+	}
+	rotV := func(b *Builder) { b.RotL32V(R1, R2, R4, R5) }
+	if n := count(FeatNoRot, rotV); n != 4 {
+		t.Errorf("norot variable rotate: %d instructions (paper: 4)", n)
+	}
+	sbox := func(b *Builder) { b.SBoxLookup(0, 1, R1, R2, R3, R4, false) }
+	if n := count(FeatOpt, sbox); n != 1 {
+		t.Errorf("opt sbox: %d instructions (paper: 1)", n)
+	}
+	if n := count(FeatRot, sbox); n != 3 {
+		t.Errorf("baseline sbox: %d instructions (paper: 3)", n)
+	}
+	xr := func(b *Builder) { b.XorRotL32I(R1, 5, R2, R3) }
+	if n := count(FeatOpt, xr); n != 1 {
+		t.Errorf("ROLX: %d instructions", n)
+	}
+	if n := count(FeatRot, xr); n != 2 {
+		t.Errorf("rot rotate-xor: %d instructions", n)
+	}
+	mm := func(b *Builder) { b.MulMod16(R1, R2, R3, R4, R5, R6, R7) }
+	if n := count(FeatOpt, mm); n != 1 {
+		t.Errorf("MULMOD: %d instructions", n)
+	}
+}
+
+func TestRodataPool(t *testing.T) {
+	b := NewBuilder("p", FeatRot)
+	off1 := b.Const64(0xdeadbeefcafebabe)
+	off2 := b.Const64(0xdeadbeefcafebabe)
+	if off1 != off2 {
+		t.Fatal("pool must deduplicate")
+	}
+	off3 := b.Const64(42)
+	if off3 == off1 {
+		t.Fatal("distinct constants share an offset")
+	}
+	w := b.DataWords32([]uint32{1, 2, 3})
+	if w%4 != 0 {
+		t.Fatal("word data misaligned")
+	}
+}
+
+func TestXboxMapPacking(t *testing.T) {
+	prop := func(raw [8]uint8) bool {
+		var bits [8]uint8
+		for i, v := range raw {
+			bits[i] = v & 63
+		}
+		m := XboxMap(bits)
+		for j := uint(0); j < 8; j++ {
+			if uint8(m>>(6*j))&63 != bits[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLiteralRangeChecked(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized operate literal must panic")
+		}
+	}()
+	b := NewBuilder("p", FeatRot)
+	b.ADDQI(R1, 256, R2)
+}

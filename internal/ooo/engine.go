@@ -1,0 +1,844 @@
+package ooo
+
+import (
+	"container/heap"
+	"fmt"
+
+	"cryptoarch/internal/core"
+	"cryptoarch/internal/emu"
+	"cryptoarch/internal/isa"
+)
+
+// Stream supplies the committed-path dynamic instruction stream.
+type Stream interface {
+	// Next returns the next retired instruction, or false at end.
+	Next() (*emu.Rec, bool)
+}
+
+// MachineStream adapts the functional emulator to a Stream.
+type MachineStream struct{ M *emu.Machine }
+
+// Next implements Stream.
+func (s MachineStream) Next() (*emu.Rec, bool) {
+	r := s.M.Step()
+	if r == nil {
+		return nil, false
+	}
+	return r, true
+}
+
+// CodeBase is the simulated address of instruction index 0 (instruction
+// addresses feed the I-cache model).
+const CodeBase = 0x4000
+
+// Stats summarizes one timing-simulation run.
+type Stats struct {
+	Config       string
+	Cycles       uint64
+	Instructions uint64
+	ClassCounts  [isa.NumClasses]uint64
+	Branches     uint64
+	Mispredicts  uint64
+	Loads        uint64
+	Stores       uint64
+	SboxAccesses uint64
+	SboxHits     uint64
+	DL1Misses    uint64
+	L2Misses     uint64
+	TLBMisses    uint64
+}
+
+// IPC returns retired instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+const (
+	stWaiting uint8 = iota // register or memory dependencies outstanding
+	stReady                // queued for issue
+	stIssued
+	stDone
+)
+
+type entry struct {
+	seq   uint64
+	idx   int
+	inst  *isa.Inst
+	addr  uint64
+	size  uint8
+	state uint8
+
+	pendingDeps int
+	consumers   []uint64 // seqs of waiting dependents
+
+	isLoad, isStore bool
+	sboxToDCache    bool   // SBOX routed through a D-cache port
+	storeOrdinal    uint64 // for stores: position in store order (1-based)
+	dataProd        uint64 // stores: seq+1 of the data producer (0 if ready)
+	needStores      uint64 // loads: stores that must have known addresses
+	memBlocked      bool   // waiting on store-address ordering
+
+	mispred bool
+
+	fetchCycle    uint64
+	dispatchCycle uint64
+	readyCycle    uint64
+	doneCycle     uint64
+}
+
+// seqHeap is a min-heap of entry seqs (oldest-first issue order).
+type seqHeap []uint64
+
+func (h seqHeap) Len() int            { return len(h) }
+func (h seqHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h seqHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *seqHeap) Push(x interface{}) { *h = append(*h, x.(uint64)) }
+func (h *seqHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Resource kinds for the per-kind ready queues.
+const (
+	kindNone = iota // no functional unit (NOP, HALT, SBOXSYNC)
+	kindIALU
+	kindMul32 // one multiplier lane
+	kindMul64 // two multiplier lanes
+	kindRot
+	kindDPort
+	kindSbox0 // + architectural table number
+	fuKinds   = kindSbox0 + 16
+)
+
+// kindOf classifies an entry by the resource pool it issues to.
+func kindOf(en *entry) int {
+	op := en.inst.Op
+	switch {
+	case op == isa.OpSBOX && !en.sboxToDCache:
+		return kindSbox0 + int(en.inst.Sel1)
+	case en.isLoad || en.isStore || op == isa.OpSBOX:
+		return kindDPort
+	case op == isa.OpMULQ || op == isa.OpUMULH:
+		return kindMul64
+	case op == isa.OpMULL || op == isa.OpMULMOD:
+		return kindMul32
+	case op == isa.OpROLQ || op == isa.OpRORQ || op == isa.OpROLL || op == isa.OpRORL ||
+		op == isa.OpROLXL || op == isa.OpRORXL || op == isa.OpROLXQ || op == isa.OpRORXQ ||
+		op == isa.OpXBOX:
+		return kindRot
+	case op == isa.OpHALT || op == isa.OpNOP || op == isa.OpSBOXSYNC:
+		return kindNone
+	default:
+		return kindIALU
+	}
+}
+
+type sboxCache struct {
+	tag    uint64
+	valid  uint32 // 32 sector-valid bits
+	hasTag bool
+}
+
+// Engine runs the timing model over one instruction stream.
+type Engine struct {
+	cfg Config
+	src Stream
+	mem *memSystem
+	bp  *bpred
+
+	stats Stats
+	cycle uint64
+
+	// Reorder buffer as a growable ring indexed by seq%cap.
+	rob     []entry
+	headSeq uint64 // oldest in-flight seq
+	tailSeq uint64 // next seq to allocate
+	memOps  int    // in-flight loads/stores (LSQ occupancy)
+
+	regProducer [isa.NumRegs]uint64 // seq+1 of latest producer; 0 = none
+
+	// Store ordering.
+	storeCount     uint64 // stores dispatched
+	storeIssued    map[uint64]bool
+	storeKnown     uint64  // contiguous prefix of stores with known address
+	memWaiters     seqHeap // loads blocked on storeKnown, keyed externally
+	memWaiterNeeds map[uint64]uint64
+
+	// Last store per byte address (perfect-alias oracle / forwarding).
+	lastStoreByte map[uint64]uint64 // addr -> seq+1
+
+	// Event wheel: completions per cycle.
+	completions map[uint64][]uint64
+
+	// Ready instructions are queued per resource kind (oldest-first), so
+	// issue does O(issued) work per cycle even with an unbounded window:
+	// a full resource pool blocks exactly its own queue.
+	readyQ      [fuKinds]seqHeap
+	futureReady map[uint64][]uint64 // readyCycle -> seqs
+
+	// Fetch state.
+	fetchQ               []uint64 // seqs in fetch/decode queue (dispatch order)
+	fetchStallTil        uint64
+	fetchBlockedOnBranch bool
+	blockedBranchSeq     uint64
+	lastFetchLine        uint64
+	streamDone           bool
+	pending              *emu.Rec // peeked record not yet fetched
+	pendingValid         bool
+
+	sboxCaches []sboxCache
+
+	srcScratch [4]isa.Reg
+
+	// Per-cycle resource usage.
+	resCycle     uint64
+	ialuUsed     int
+	mulUsed      int
+	rotUsed      int
+	dportUsed    int
+	sboxPortUsed []int
+}
+
+// NewEngine creates a timing engine for cfg over src.
+func NewEngine(cfg Config, src Stream) *Engine {
+	e := &Engine{
+		cfg:            cfg,
+		src:            src,
+		mem:            newMemSystem(),
+		bp:             newBpred(),
+		storeIssued:    make(map[uint64]bool),
+		memWaiterNeeds: make(map[uint64]uint64),
+		lastStoreByte:  make(map[uint64]uint64),
+		completions:    make(map[uint64][]uint64),
+		futureReady:    make(map[uint64][]uint64),
+		sboxCaches:     make([]sboxCache, cfg.NumSboxCaches),
+		sboxPortUsed:   make([]int, cfg.NumSboxCaches),
+	}
+	e.stats.Config = cfg.Name
+	// The ring holds both the fetch queue and the window; size it for the
+	// worst case and let the infinite-window case grow on demand.
+	capHint := cfg.WindowSize + e.fetchQueueCap() + 64
+	e.rob = make([]entry, nextPow2(capHint))
+	return e
+}
+
+// maxWindow bounds "infinite" windows: a quarter-million in-flight
+// instructions is far beyond any dependence distance in these kernels, and
+// it keeps the dataflow-model memory footprint bounded.
+const maxWindow = 1 << 18
+
+// effWindow is the window size with the infinite case bounded.
+func (e *Engine) effWindow() int {
+	if inf(e.cfg.WindowSize) {
+		return maxWindow
+	}
+	return e.cfg.WindowSize
+}
+
+// fetchQueueCap bounds the fetch/decode queue.
+func (e *Engine) fetchQueueCap() int {
+	if inf(e.cfg.FetchWidth) || inf(e.cfg.FetchBlocksPerCycle) {
+		return 4096
+	}
+	if c := 4 * e.cfg.FetchWidth * e.cfg.FetchBlocksPerCycle; c > 16 {
+		return c
+	}
+	return 16
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func (e *Engine) at(seq uint64) *entry { return &e.rob[seq&uint64(len(e.rob)-1)] }
+
+// windowOcc is the number of dispatched-but-uncommitted instructions.
+func (e *Engine) windowOcc() int {
+	return int(e.tailSeq-e.headSeq) - len(e.fetchQ)
+}
+
+// ensureRing guarantees space for one more in-flight entry.
+func (e *Engine) ensureRing() {
+	if e.tailSeq-e.headSeq == uint64(len(e.rob)) {
+		e.growROB()
+	}
+}
+
+func (e *Engine) growROB() {
+	old := e.rob
+	e.rob = make([]entry, len(old)*2)
+	for s := e.headSeq; s < e.tailSeq; s++ {
+		e.rob[s&uint64(len(e.rob)-1)] = old[s&uint64(len(old)-1)]
+	}
+}
+
+// WarmData pre-fills the data-cache hierarchy and TLB for a region, as if
+// the key-setup code (which writes the whole cipher context) had just run.
+// Without this, one-time compulsory misses on the S-box tables would
+// dominate short sessions, which is not what the paper measures.
+func (e *Engine) WarmData(addr uint64, n int) {
+	end := addr + uint64(n)
+	for a := addr &^ ((1 << blockShift) - 1); a < end; a += 1 << blockShift {
+		e.mem.dl1.lookup(a, true)
+		e.mem.l2.lookup(a, true)
+	}
+	for a := addr &^ ((1 << pageShift) - 1); a < end; a += 1 << pageShift {
+		e.mem.dtlb.lookup(a, true)
+	}
+}
+
+// WarmCode pre-fills the instruction cache for a program of n
+// instructions, as if the kernel had already run (key setup and the
+// session-establishment path execute this code before the measured
+// session).
+func (e *Engine) WarmCode(n int) {
+	end := CodeBase + uint64(n)*4
+	for a := uint64(CodeBase); a < end; a += 1 << blockShift {
+		e.mem.il1.lookup(a, true)
+		e.mem.l2.lookup(a, true)
+	}
+}
+
+// Run drives the model to completion and returns the statistics.
+func (e *Engine) Run() (*Stats, error) {
+	const idleLimit = 1 << 22
+	var idle uint64
+	for {
+		progress := e.step()
+		if e.streamDone && !e.pendingValid && len(e.fetchQ) == 0 && e.headSeq == e.tailSeq {
+			break
+		}
+		if progress {
+			idle = 0
+		} else if idle++; idle > idleLimit {
+			return nil, fmt.Errorf("ooo: %s deadlocked at cycle %d (head %d tail %d)",
+				e.cfg.Name, e.cycle, e.headSeq, e.tailSeq)
+		}
+		e.cycle++
+	}
+	e.stats.Cycles = e.cycle
+	e.stats.DL1Misses = e.mem.DL1Miss
+	e.stats.L2Misses = e.mem.L2Miss
+	e.stats.TLBMisses = e.mem.TLBMiss
+	return &e.stats, nil
+}
+
+// step executes one cycle; reports whether any state changed.
+func (e *Engine) step() bool {
+	progress := false
+	if e.writeback() {
+		progress = true
+	}
+	if e.promoteReady() {
+		progress = true
+	}
+	if e.commit() {
+		progress = true
+	}
+	if e.issue() {
+		progress = true
+	}
+	if e.dispatch() {
+		progress = true
+	}
+	if e.fetch() {
+		progress = true
+	}
+	return progress
+}
+
+// writeback processes completions scheduled for this cycle: wakes register
+// consumers, advances store ordering, releases branch stalls.
+func (e *Engine) writeback() bool {
+	seqs, ok := e.completions[e.cycle]
+	if !ok {
+		return false
+	}
+	delete(e.completions, e.cycle)
+	for _, s := range seqs {
+		en := e.at(s)
+		en.state = stDone
+		for _, c := range en.consumers {
+			ce := e.at(c)
+			if ce.seq != c || ce.state != stWaiting {
+				continue
+			}
+			ce.pendingDeps--
+			if ce.pendingDeps == 0 && !ce.memBlocked {
+				e.makeReady(ce)
+			}
+		}
+		en.consumers = nil
+		if en.mispred && e.fetchBlockedOnBranch && e.blockedBranchSeq == s {
+			e.fetchBlockedOnBranch = false
+			resume := e.cycle + 1
+			if min := en.fetchCycle + uint64(e.cfg.BranchPenalty); min > resume {
+				resume = min
+			}
+			if resume > e.fetchStallTil {
+				e.fetchStallTil = resume
+			}
+		}
+	}
+	return true
+}
+
+func (e *Engine) makeReady(en *entry) {
+	en.state = stReady
+	rc := e.cycle
+	if en.dispatchCycle+1 > rc {
+		rc = en.dispatchCycle + 1
+	}
+	en.readyCycle = rc
+	if rc <= e.cycle {
+		heap.Push(&e.readyQ[kindOf(en)], en.seq)
+	} else {
+		e.futureReady[rc] = append(e.futureReady[rc], en.seq)
+	}
+}
+
+// promoteReady moves entries whose ready cycle has arrived into the
+// per-kind issue queues.
+func (e *Engine) promoteReady() bool {
+	seqs, ok := e.futureReady[e.cycle]
+	if !ok {
+		return false
+	}
+	delete(e.futureReady, e.cycle)
+	for _, s := range seqs {
+		en := e.at(s)
+		if en.seq == s && en.state == stReady {
+			heap.Push(&e.readyQ[kindOf(en)], s)
+		}
+	}
+	return len(seqs) > 0
+}
+
+// commit retires completed instructions in order.
+func (e *Engine) commit() bool {
+	width := e.cfg.IssueWidth
+	n := 0
+	for e.headSeq < e.tailSeq {
+		en := e.at(e.headSeq)
+		if en.state != stDone || en.doneCycle >= e.cycle {
+			break
+		}
+		if !inf(width) && n >= width {
+			break
+		}
+		if en.isLoad || en.isStore {
+			e.memOps--
+		}
+		e.headSeq++
+		n++
+	}
+	return n > 0
+}
+
+// resetRes clears the per-cycle resource counters.
+func (e *Engine) resetRes() {
+	if e.resCycle == e.cycle {
+		return
+	}
+	e.resCycle = e.cycle
+	e.ialuUsed, e.mulUsed, e.rotUsed, e.dportUsed = 0, 0, 0, 0
+	for i := range e.sboxPortUsed {
+		e.sboxPortUsed[i] = 0
+	}
+}
+
+// kindHasRoom reports whether the resource pool behind kind k can accept
+// one more issue this cycle.
+func (e *Engine) kindHasRoom(k int) bool {
+	e.resetRes()
+	switch {
+	case k == kindNone:
+		return true
+	case k == kindIALU:
+		return inf(e.cfg.NumIALU) || e.ialuUsed < e.cfg.NumIALU
+	case k == kindMul32:
+		return inf(e.cfg.MulLanes) || e.mulUsed < e.cfg.MulLanes
+	case k == kindMul64:
+		return inf(e.cfg.MulLanes) || e.mulUsed+2 <= e.cfg.MulLanes
+	case k == kindRot:
+		return inf(e.cfg.NumRot) || e.rotUsed < e.cfg.NumRot
+	case k == kindDPort:
+		return inf(e.cfg.DCachePorts) || e.dportUsed < e.cfg.DCachePorts
+	default:
+		return inf(e.cfg.SboxCachePorts) || e.sboxPortUsed[k-kindSbox0] < e.cfg.SboxCachePorts
+	}
+}
+
+// reserve consumes the resource for kind k this cycle.
+func (e *Engine) reserve(k int) {
+	switch {
+	case k == kindNone:
+	case k == kindIALU:
+		e.ialuUsed++
+	case k == kindMul32:
+		e.mulUsed++
+	case k == kindMul64:
+		e.mulUsed += 2
+	case k == kindRot:
+		e.rotUsed++
+	case k == kindDPort:
+		e.dportUsed++
+	default:
+		e.sboxPortUsed[k-kindSbox0]++
+	}
+}
+
+// latency returns the execution latency of an issued entry, consulting the
+// memory system for loads/SBOX accesses.
+func (e *Engine) latency(en *entry) uint64 {
+	op := en.inst.Op
+	switch {
+	case op == isa.OpSBOX:
+		e.stats.SboxAccesses++
+		if en.sboxToDCache {
+			if e.cfg.PerfectMem {
+				return core.LatSboxDCache
+			}
+			return e.memLatNoAgen(en.addr)
+		}
+		return e.sboxAccess(en)
+	case en.isLoad:
+		if e.cfg.PerfectMem {
+			return core.LatLoadAgen + core.LatDCacheAccess
+		}
+		return core.LatLoadAgen + e.mem.dataAccess(en.addr, e.cycle)
+	case en.isStore:
+		if !e.cfg.PerfectMem {
+			e.mem.dataAccess(en.addr, e.cycle) // allocate/dirty the line
+		}
+		return 1
+	case op == isa.OpMULQ || op == isa.OpUMULH:
+		return core.LatMul64
+	case op == isa.OpMULL:
+		return core.LatMul32
+	case op == isa.OpMULMOD:
+		return core.LatMulMod
+	default:
+		return 1
+	}
+}
+
+// memLatNoAgen is an SBOX access through a D-cache port: the access skips
+// address generation.
+func (e *Engine) memLatNoAgen(addr uint64) uint64 {
+	return e.mem.dataAccess(addr, e.cycle)
+}
+
+// sboxAccess models the dedicated SBox caches: single-tag sector caches
+// that demand-fetch 32-byte sectors from the data cache.
+func (e *Engine) sboxAccess(en *entry) uint64 {
+	if e.cfg.PerfectMem {
+		e.stats.SboxHits++
+		return core.LatSboxCache
+	}
+	c := &e.sboxCaches[en.inst.Sel1]
+	base := en.addr & core.SboxAlignMask
+	if !c.hasTag || c.tag != base {
+		c.tag, c.hasTag, c.valid = base, true, 0
+	}
+	sector := uint32(1) << ((en.addr >> blockShift) & 31)
+	if c.valid&sector != 0 {
+		e.stats.SboxHits++
+		return core.LatSboxCache
+	}
+	c.valid |= sector
+	return core.LatSboxCache + e.mem.dataAccess(en.addr, e.cycle)
+}
+
+// issue selects ready entries oldest-first across the per-kind queues,
+// subject to issue width and functional-unit availability. A saturated
+// pool stops only its own queue, so per-cycle work is O(issued), even
+// when an infinite window keeps hundreds of thousands of instructions in
+// flight.
+func (e *Engine) issue() bool {
+	width := e.cfg.IssueWidth
+	issued := 0
+	for {
+		if !inf(width) && issued >= width {
+			break
+		}
+		best := -1
+		var bestSeq uint64
+		for k := 0; k < fuKinds; k++ {
+			if len(e.readyQ[k]) == 0 || !e.kindHasRoom(k) {
+				continue
+			}
+			if best == -1 || e.readyQ[k][0] < bestSeq {
+				best, bestSeq = k, e.readyQ[k][0]
+			}
+		}
+		if best == -1 {
+			break
+		}
+		heap.Pop(&e.readyQ[best])
+		en := e.at(bestSeq)
+		e.reserve(best)
+		en.state = stIssued
+		lat := e.latency(en)
+		en.doneCycle = e.cycle + lat
+		e.completions[en.doneCycle] = append(e.completions[en.doneCycle], bestSeq)
+		issued++
+		if en.isStore {
+			e.storeIssued[en.storeOrdinal] = true
+			e.advanceStoreKnown()
+		}
+		if en.inst.Op == isa.OpSBOXSYNC {
+			for i := range e.sboxCaches {
+				e.sboxCaches[i].valid = 0
+			}
+		}
+	}
+	return issued > 0
+}
+
+// advanceStoreKnown extends the contiguous prefix of stores whose
+// addresses are known and wakes loads blocked on it.
+func (e *Engine) advanceStoreKnown() {
+	for e.storeIssued[e.storeKnown+1] {
+		delete(e.storeIssued, e.storeKnown+1)
+		e.storeKnown++
+	}
+	for e.memWaiters.Len() > 0 {
+		s := e.memWaiters[0]
+		need := e.memWaiterNeeds[s]
+		if need > e.storeKnown {
+			// The heap is seq-ordered, not need-ordered; scan fully.
+			break
+		}
+		heap.Pop(&e.memWaiters)
+		delete(e.memWaiterNeeds, s)
+		en := e.at(s)
+		if en.seq != s {
+			continue
+		}
+		en.memBlocked = false
+		if en.pendingDeps == 0 && en.state == stWaiting {
+			e.makeReady(en)
+		}
+	}
+}
+
+// dispatch moves fetched instructions into the window.
+func (e *Engine) dispatch() bool {
+	width := e.cfg.IssueWidth
+	n := 0
+	for len(e.fetchQ) > 0 {
+		if !inf(width) && n >= width {
+			break
+		}
+		if e.windowOcc() >= e.effWindow() {
+			break
+		}
+		s := e.fetchQ[0]
+		en := e.at(s)
+		if en.fetchCycle >= e.cycle {
+			break // fetched this cycle; decodes next cycle
+		}
+		if en.isLoad || en.isStore {
+			if !inf(e.cfg.LSQSize) && e.memOps >= e.cfg.LSQSize {
+				break
+			}
+			e.memOps++
+		}
+		e.fetchQ = e.fetchQ[1:]
+		e.wireDependencies(en)
+		n++
+	}
+	return n > 0
+}
+
+// wireDependencies computes register and memory-ordering dependencies for
+// a newly dispatched entry.
+func (e *Engine) wireDependencies(en *entry) {
+	en.dispatchCycle = e.cycle
+	e.stats.Instructions++
+	e.stats.ClassCounts[en.inst.Class]++
+
+	srcs := en.inst.Sources(e.srcScratch[:0])
+	if en.isStore {
+		// A store issues (and publishes its address) as soon as the base
+		// register is ready; the data value only gates loads that forward
+		// from it. Track the data producer separately.
+		srcs = srcs[:0]
+		if en.inst.Rb != isa.RZ {
+			srcs = append(srcs, en.inst.Rb)
+		}
+		if p := e.regProducer[en.inst.Ra]; p != 0 && p-1 >= e.headSeq {
+			if pe := e.at(p - 1); pe.seq == p-1 && pe.state != stDone {
+				en.dataProd = p // seq+1 of the store-data producer
+			}
+		}
+	}
+	for _, r := range srcs {
+		p := e.regProducer[r]
+		if p == 0 {
+			continue
+		}
+		pe := e.at(p - 1)
+		if pe.seq != p-1 || pe.state == stDone || p-1 < e.headSeq {
+			continue
+		}
+		pe.consumers = append(pe.consumers, en.seq)
+		en.pendingDeps++
+	}
+	if d := en.inst.Dest(); d != isa.RZ {
+		e.regProducer[d] = en.seq + 1
+	}
+
+	if en.isStore {
+		e.storeCount++
+		en.storeOrdinal = e.storeCount
+		for i := uint64(0); i < uint64(en.size); i++ {
+			e.lastStoreByte[en.addr+i] = en.seq + 1
+		}
+	}
+	if en.isLoad {
+		e.stats.Loads++
+		// Forwarding/overlap dependency: the youngest earlier store
+		// touching any loaded byte. The load waits for that store's
+		// address publication and for its data value.
+		var dep uint64
+		for i := uint64(0); i < uint64(en.size); i++ {
+			if p := e.lastStoreByte[en.addr+i]; p > dep {
+				dep = p
+			}
+		}
+		if dep > 0 && dep-1 >= e.headSeq {
+			pe := e.at(dep - 1)
+			if pe.seq == dep-1 && pe.state != stDone {
+				pe.consumers = append(pe.consumers, en.seq)
+				en.pendingDeps++
+			}
+			if pe.seq == dep-1 && pe.dataProd != 0 && pe.dataProd-1 >= e.headSeq {
+				dp := e.at(pe.dataProd - 1)
+				if dp.seq == pe.dataProd-1 && dp.state != stDone {
+					dp.consumers = append(dp.consumers, en.seq)
+					en.pendingDeps++
+				}
+			}
+		}
+		if !e.cfg.PerfectAlias {
+			en.needStores = e.storeCount
+			if en.needStores > e.storeKnown {
+				en.memBlocked = true
+				heap.Push(&e.memWaiters, en.seq)
+				e.memWaiterNeeds[en.seq] = en.needStores
+			}
+		}
+	}
+	if en.isStore {
+		e.stats.Stores++
+	}
+
+	if en.pendingDeps == 0 && !en.memBlocked {
+		e.makeReady(en)
+	}
+}
+
+// fetch pulls instructions from the trace into the fetch queue, modeling
+// fetch bandwidth, the I-cache, and branch-misprediction stalls.
+func (e *Engine) fetch() bool {
+	if e.fetchBlockedOnBranch || e.cycle < e.fetchStallTil {
+		return false
+	}
+	qCap := e.fetchQueueCap()
+	blocks := 0
+	inBlock := 0
+	fetched := 0
+	for len(e.fetchQ) < qCap {
+		if !e.pendingValid {
+			r, ok := e.src.Next()
+			if !ok {
+				e.streamDone = true
+				break
+			}
+			e.pending = &emu.Rec{}
+			*e.pending = *r
+			e.pendingValid = true
+		}
+		rec := e.pending
+
+		// I-cache: charge a stall when crossing into a missing line.
+		line := (CodeBase + uint64(rec.Idx)*4) >> blockShift
+		if !e.cfg.PerfectMem && line != e.lastFetchLine {
+			if lat := e.mem.instAccess(CodeBase+uint64(rec.Idx)*4, e.cycle); lat > 0 {
+				e.lastFetchLine = line
+				e.fetchStallTil = e.cycle + lat
+				break
+			}
+			e.lastFetchLine = line
+		}
+
+		e.ensureRing()
+		seq := e.tailSeq
+		e.tailSeq++
+		en := e.at(seq)
+		*en = entry{
+			seq:        seq,
+			idx:        rec.Idx,
+			inst:       rec.Inst,
+			addr:       rec.Addr,
+			size:       rec.Size,
+			state:      stWaiting,
+			fetchCycle: e.cycle,
+		}
+		p := isa.P(rec.Inst.Op)
+		en.isStore = p.Store
+		en.isLoad = p.Load && rec.Inst.Op != isa.OpSBOX
+		if rec.Inst.Op == isa.OpSBOX {
+			if rec.Inst.Aliased {
+				// Aliased SBOX behaves as a load with optimized agen.
+				en.isLoad = true
+				en.sboxToDCache = true
+			} else if int(rec.Inst.Sel1) >= e.cfg.NumSboxCaches {
+				en.sboxToDCache = true
+			}
+		}
+		e.fetchQ = append(e.fetchQ, seq)
+		e.pendingValid = false
+		fetched++
+
+		// Branch handling.
+		if p.Branch {
+			e.stats.Branches++
+			correct := e.cfg.PerfectBpred ||
+				e.bp.predict(rec.Idx, rec.Inst, rec.Taken, rec.Targ)
+			if !correct {
+				e.stats.Mispredicts++
+				en.mispred = true
+				e.fetchBlockedOnBranch = true
+				e.blockedBranchSeq = seq
+				break
+			}
+		}
+
+		// Fetch-bandwidth accounting.
+		if !inf(e.cfg.FetchWidth) {
+			inBlock++
+			endBlock := inBlock >= e.cfg.FetchWidth || (p.Branch && rec.Taken)
+			if endBlock {
+				blocks++
+				inBlock = 0
+				if !inf(e.cfg.FetchBlocksPerCycle) && blocks >= e.cfg.FetchBlocksPerCycle {
+					break
+				}
+			}
+		}
+	}
+	return fetched > 0
+}

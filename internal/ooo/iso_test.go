@@ -1,0 +1,32 @@
+package ooo_test
+
+import (
+	"testing"
+
+	"cryptoarch/internal/harness"
+	"cryptoarch/internal/isa"
+	"cryptoarch/internal/ooo"
+)
+
+func TestDebugIsolate4WPlus(t *testing.T) {
+	mk := func(name string, mod func(*ooo.Config)) ooo.Config {
+		c := ooo.FourWidePlus
+		c.Name = name
+		mod(&c)
+		return c
+	}
+	cfgs := []ooo.Config{
+		ooo.FourWide,
+		ooo.FourWidePlus,
+		mk("4W+2ports", func(c *ooo.Config) { c.SboxCachePorts = 2 }),
+		mk("4W+rot2", func(c *ooo.Config) { c.NumRot = 2 }),
+		mk("4W+nosbox", func(c *ooo.Config) { c.NumSboxCaches = 0; c.SboxCachePorts = 0 }),
+	}
+	for _, cfg := range cfgs {
+		st, err := harness.TimeKernel("rijndael", isa.FeatOpt, cfg, 4096, 12345)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%-10s cycles=%d IPC=%.2f", cfg.Name, st.Cycles, st.IPC())
+	}
+}

@@ -1,0 +1,310 @@
+package pubkey
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+
+	"cryptoarch/internal/emu"
+	"cryptoarch/internal/isa"
+	"cryptoarch/internal/simmem"
+)
+
+// Context layout for the AXP64 modular-exponentiation kernel.
+const (
+	pkM      = 0
+	pkR2     = 128
+	pkRMod   = 256
+	pkBase   = 384
+	pkExp    = 512
+	pkOut    = 640
+	pkT      = 768 // 17-limb scratch
+	pkX      = 912
+	pkAcc    = 1040
+	pkOne    = 1168
+	pkN0     = 1296
+	pkCtxLen = 1304
+)
+
+// BuildModExp assembles the 1024-bit Montgomery exponentiation kernel:
+// out = base^exp mod m. It needs only the base ISA (MULQ/UMULH) — the
+// paper's extensions target symmetric kernels — so the feature level only
+// affects incidental rotates (none are used).
+func BuildModExp(feat isa.Feature) *isa.Program {
+	b := isa.NewBuilder("modexp-"+feat.String(), feat)
+
+	mP, tP, n0 := isa.R4, isa.R5, isa.R6
+	aP, bP, dP := isa.R9, isa.R10, isa.R11
+	cnt, bi, c := isa.R12, isa.R14, isa.R15
+	lo, hi, s, c1, c2 := isa.R20, isa.R21, isa.R22, isa.R23, isa.R24
+	pa, pt, pbv := isa.R25, isa.R27, isa.R28
+	t, t2 := isa.R7, isa.R13
+	limb, bit, iR := isa.R0, isa.R1, isa.R2
+	mmI := isa.R3 // montmul outer counter (must not alias the driver's)
+
+	b.LDA(mP, pkM, isa.RA3)
+	b.LDA(tP, pkT, isa.RA3)
+	b.LDQ(n0, pkN0, isa.RA3)
+	b.BR("main")
+
+	// --- montmul: [dP] = [aP]*[bP]*R^-1 mod [mP] (CIOS) ---
+	b.Label("montmul")
+	// Zero the 18-limb scratch (the pre-shift accumulation needs one bit
+	// beyond limb 16).
+	for j := 0; j <= Limbs+1; j++ {
+		b.STQ(isa.RZ, int64(8*j), tP)
+	}
+	b.MOV(bP, pbv)
+	b.LoadImm(mmI, Limbs)
+	b.Label("mmOuter")
+	b.LDQ(bi, 0, pbv)
+	// Phase 1: t += a * bi.
+	b.MOV(aP, pa)
+	b.MOV(tP, pt)
+	b.MOV(isa.RZ, c)
+	b.LoadImm(cnt, Limbs)
+	b.Label("mmP1")
+	b.LDQ(t, 0, pa)
+	b.MULQ(t, bi, lo)
+	b.UMULH(t, bi, hi)
+	b.LDQ(s, 0, pt)
+	b.ADDQ(s, lo, s)
+	b.CMPULT(s, lo, c1)
+	b.ADDQ(s, c, s)
+	b.CMPULT(s, c, c2)
+	b.STQ(s, 0, pt)
+	b.ADDQ(hi, c1, hi)
+	b.ADDQ(hi, c2, c)
+	b.ADDQI(pa, 8, pa)
+	b.ADDQI(pt, 8, pt)
+	b.SUBQI(cnt, 1, cnt)
+	b.BGT(cnt, "mmP1")
+	b.LDQ(s, 0, pt)
+	b.ADDQ(s, c, s)
+	b.STQ(s, 0, pt)
+	b.CMPULT(s, c, c1)
+	b.LDQ(s, 8, pt)
+	b.ADDQ(s, c1, s)
+	b.STQ(s, 8, pt)
+	// Phase 2: t += (t[0]*n0inv) * m.
+	b.LDQ(t, 0, tP)
+	b.MULQ(t, n0, bi) // bi = mi
+	b.MOV(mP, pa)
+	b.MOV(tP, pt)
+	b.MOV(isa.RZ, c)
+	b.LoadImm(cnt, Limbs)
+	b.Label("mmP2")
+	b.LDQ(t, 0, pa)
+	b.MULQ(t, bi, lo)
+	b.UMULH(t, bi, hi)
+	b.LDQ(s, 0, pt)
+	b.ADDQ(s, lo, s)
+	b.CMPULT(s, lo, c1)
+	b.ADDQ(s, c, s)
+	b.CMPULT(s, c, c2)
+	b.STQ(s, 0, pt)
+	b.ADDQ(hi, c1, hi)
+	b.ADDQ(hi, c2, c)
+	b.ADDQI(pa, 8, pa)
+	b.ADDQI(pt, 8, pt)
+	b.SUBQI(cnt, 1, cnt)
+	b.BGT(cnt, "mmP2")
+	b.LDQ(s, 0, pt)
+	b.ADDQ(s, c, s)
+	b.STQ(s, 0, pt)
+	b.CMPULT(s, c, c1)
+	b.LDQ(s, 8, pt)
+	b.ADDQ(s, c1, s)
+	b.STQ(s, 8, pt)
+	// Shift t down one limb (17 moves), clearing the top.
+	b.MOV(tP, pt)
+	b.LoadImm(cnt, Limbs+1)
+	b.Label("mmShift")
+	b.LDQ(s, 8, pt)
+	b.STQ(s, 0, pt)
+	b.ADDQI(pt, 8, pt)
+	b.SUBQI(cnt, 1, cnt)
+	b.BGT(cnt, "mmShift")
+	b.STQ(isa.RZ, 0, pt)
+	b.ADDQI(pbv, 8, pbv) // next b limb
+	b.SUBQI(mmI, 1, mmI)
+	b.BGT(mmI, "mmOuter")
+	// Conditional subtraction: dst = t - m if t (with top limb) >= m.
+	b.MOV(tP, pt)
+	b.MOV(mP, pa)
+	b.MOV(dP, pbv)
+	b.MOV(isa.RZ, c) // borrow
+	b.LoadImm(cnt, Limbs)
+	b.Label("mmSub")
+	b.LDQ(s, 0, pt)
+	b.LDQ(t, 0, pa)
+	b.SUBQ(s, t, t2)    // diff = s - m_j
+	b.CMPULT(s, t, c1)  // borrow from the subtraction
+	b.CMPULT(t2, c, c2) // borrow from subtracting the incoming borrow
+	b.SUBQ(t2, c, t2)
+	b.STQ(t2, 0, pbv)
+	b.OR(c1, c2, c)
+	b.ADDQI(pt, 8, pt)
+	b.ADDQI(pa, 8, pa)
+	b.ADDQI(pbv, 8, pbv)
+	b.SUBQI(cnt, 1, cnt)
+	b.BGT(cnt, "mmSub")
+	// Keep the subtraction iff t[16] != 0 or no final borrow.
+	b.LDQ(t, 8*Limbs, tP)
+	b.BNE(t, "mmDone")
+	b.BEQ(c, "mmDone")
+	// Otherwise copy t[0..15] to dst.
+	b.MOV(tP, pt)
+	b.MOV(dP, pbv)
+	b.LoadImm(cnt, Limbs)
+	b.Label("mmCopy")
+	b.LDQ(s, 0, pt)
+	b.STQ(s, 0, pbv)
+	b.ADDQI(pt, 8, pt)
+	b.ADDQI(pbv, 8, pbv)
+	b.SUBQI(cnt, 1, cnt)
+	b.BGT(cnt, "mmCopy")
+	b.Label("mmDone")
+	b.RET()
+
+	// --- driver ---
+	b.Label("main")
+	// xm = montmul(base, r2).
+	b.LDA(aP, pkBase, isa.RA3)
+	b.LDA(bP, pkR2, isa.RA3)
+	b.LDA(dP, pkX, isa.RA3)
+	b.BSR("montmul")
+	// acc = rMod.
+	for j := 0; j < Limbs; j++ {
+		b.LDQ(s, pkRMod+int64(8*j), isa.RA3)
+		b.STQ(s, pkAcc+int64(8*j), isa.RA3)
+	}
+	// Square-and-multiply over all 1024 exponent bits.
+	b.LoadImm(iR, Limbs-1)
+	b.Label("expLimb")
+	b.S8ADDQ(iR, isa.RA3, t)
+	b.LDQ(limb, pkExp, t)
+	b.LoadImm(bit, 63)
+	b.Label("expBit")
+	b.LDA(aP, pkAcc, isa.RA3)
+	b.LDA(bP, pkAcc, isa.RA3)
+	b.LDA(dP, pkAcc, isa.RA3)
+	b.BSR("montmul")
+	b.SRL(limb, bit, t)
+	b.ANDI(t, 1, t)
+	b.BEQ(t, "expSkip")
+	b.LDA(aP, pkAcc, isa.RA3)
+	b.LDA(bP, pkX, isa.RA3)
+	b.LDA(dP, pkAcc, isa.RA3)
+	b.BSR("montmul")
+	b.Label("expSkip")
+	b.SUBQI(bit, 1, bit)
+	b.BGE(bit, "expBit")
+	b.SUBQI(iR, 1, iR)
+	b.BGE(iR, "expLimb")
+	// out = montmul(acc, one).
+	b.LDA(aP, pkAcc, isa.RA3)
+	b.LDA(bP, pkOne, isa.RA3)
+	b.LDA(dP, pkOut, isa.RA3)
+	b.BSR("montmul")
+	b.HALT()
+	return b.Build()
+}
+
+// Workload holds a deterministic RSA-like private operation.
+type Workload struct {
+	M, Base, Exp Num
+	RMod, R2     Num
+	N0           uint64
+}
+
+// NewWorkload derives a pseudorandom 1024-bit odd modulus (top bit set),
+// base and exponent from seed, with the Montgomery constants precomputed.
+func NewWorkload(seed int64) *Workload {
+	rng := rand.New(rand.NewSource(seed))
+	w := &Workload{}
+	for i := 0; i < Limbs; i++ {
+		w.M[i] = rng.Uint64()
+		w.Base[i] = rng.Uint64()
+		w.Exp[i] = rng.Uint64()
+	}
+	w.M[0] |= 1
+	w.M[Limbs-1] |= 1 << 63
+	w.Exp[Limbs-1] |= 1 << 63
+	// Base < M keeps Montgomery inputs canonical.
+	w.Base[Limbs-1] %= w.M[Limbs-1]
+	w.N0 = N0Inv(w.M[0])
+	mBig := w.M.Big()
+	r := new(big.Int).Lsh(big.NewInt(1), 1024)
+	w.RMod = FromBig(new(big.Int).Mod(r, mBig))
+	w.R2 = FromBig(new(big.Int).Mod(new(big.Int).Mul(r, r), mBig))
+	return w
+}
+
+// Big converts to math/big for validation.
+func (n *Num) Big() *big.Int {
+	out := new(big.Int)
+	for i := Limbs - 1; i >= 0; i-- {
+		out.Lsh(out, 64)
+		out.Or(out, new(big.Int).SetUint64(n[i]))
+	}
+	return out
+}
+
+// FromBig truncates a big.Int into a Num.
+func FromBig(v *big.Int) Num {
+	var n Num
+	words := v.Bits()
+	for i := 0; i < len(words) && i < Limbs; i++ {
+		n[i] = uint64(words[i])
+	}
+	return n
+}
+
+// InitCtx writes a workload into simulated memory.
+func InitCtx(mem *simmem.Mem, ctx uint64, w *Workload) {
+	writeNum := func(off uint64, n *Num) {
+		for i, v := range n {
+			mem.Store(ctx+off+uint64(8*i), 8, v)
+		}
+	}
+	writeNum(pkM, &w.M)
+	writeNum(pkR2, &w.R2)
+	writeNum(pkRMod, &w.RMod)
+	writeNum(pkBase, &w.Base)
+	writeNum(pkExp, &w.Exp)
+	var one Num
+	one[0] = 1
+	writeNum(pkOne, &one)
+	mem.Store(ctx+pkN0, 8, w.N0)
+}
+
+// NewRun prepares a functional machine executing the modexp kernel.
+func NewRun(w *Workload, feat isa.Feature, ctx, rodata uint64) (*emu.Machine, *simmem.Mem) {
+	mem := simmem.New(0)
+	InitCtx(mem, ctx, w)
+	prog := BuildModExp(feat)
+	m := emu.New(prog, mem, rodata)
+	m.SetArgs(0, 0, 0, ctx)
+	return m, mem
+}
+
+// ReadResult extracts the kernel's output.
+func ReadResult(mem *simmem.Mem, ctx uint64) Num {
+	var n Num
+	for i := 0; i < Limbs; i++ {
+		n[i] = mem.Load(ctx+pkOut+uint64(8*i), 8)
+	}
+	return n
+}
+
+// CtxBytes is the kernel context size.
+const CtxBytes = pkCtxLen
+
+// Sanity guard: the context constants must stay consistent.
+var _ = func() int {
+	if pkCtxLen < pkN0+8 {
+		panic(fmt.Sprintf("pubkey: context too small (%d)", pkCtxLen))
+	}
+	return 0
+}()

@@ -1,0 +1,102 @@
+// Package pubkey is the public-key substrate for the paper's Figure 2
+// (SSL characterization): a from-scratch multiprecision Montgomery
+// multiplier and 1024-bit modular exponentiation, implemented both as a
+// Go reference (validated against math/big) and as an AXP64 kernel so the
+// session-establishment cost can be measured on the same machine models
+// as the symmetric kernels.
+package pubkey
+
+import "math/bits"
+
+// Limbs is the operand width: 16 x 64-bit = 1024 bits.
+const Limbs = 16
+
+// Num is a little-endian multiprecision integer.
+type Num [Limbs]uint64
+
+// N0Inv computes -m[0]^-1 mod 2^64 by Newton iteration (m must be odd).
+func N0Inv(m0 uint64) uint64 {
+	inv := uint64(1)
+	for i := 0; i < 6; i++ {
+		inv *= 2 - m0*inv
+	}
+	return -inv
+}
+
+// MontMul computes a*b*R^-1 mod m (R = 2^1024) with the CIOS method; the
+// AXP64 kernel mirrors this loop structure exactly.
+func MontMul(a, b, m *Num, n0inv uint64) Num {
+	var t [Limbs + 2]uint64
+	for i := 0; i < Limbs; i++ {
+		// t += a * b[i]
+		var c uint64
+		for j := 0; j < Limbs; j++ {
+			hi, lo := bits.Mul64(a[j], b[i])
+			s, c1 := bits.Add64(t[j], lo, 0)
+			s, c2 := bits.Add64(s, c, 0)
+			t[j] = s
+			c = hi + c1 + c2
+		}
+		s, c1 := bits.Add64(t[Limbs], c, 0)
+		t[Limbs] = s
+		t[Limbs+1] += c1
+
+		// t += (t[0] * n0inv mod 2^64) * m; then shift one limb.
+		mi := t[0] * n0inv
+		c = 0
+		for j := 0; j < Limbs; j++ {
+			hi, lo := bits.Mul64(mi, m[j])
+			s, c1 := bits.Add64(t[j], lo, 0)
+			s, c2 := bits.Add64(s, c, 0)
+			t[j] = s
+			c = hi + c1 + c2
+		}
+		s, c1 = bits.Add64(t[Limbs], c, 0)
+		t[Limbs] = s
+		t[Limbs+1] += c1
+		copy(t[:Limbs+1], t[1:])
+		t[Limbs+1] = 0
+	}
+	// Conditional subtraction to the canonical range.
+	var out Num
+	copy(out[:], t[:Limbs])
+	if t[Limbs] != 0 || !less(&out, m) {
+		var borrow uint64
+		for j := 0; j < Limbs; j++ {
+			out[j], borrow = bits.Sub64(out[j], m[j], borrow)
+		}
+	}
+	return out
+}
+
+func less(a, m *Num) bool {
+	for j := Limbs - 1; j >= 0; j-- {
+		if a[j] != m[j] {
+			return a[j] < m[j]
+		}
+	}
+	return false
+}
+
+// ModExp computes base^exp mod m via left-to-right square-and-multiply in
+// the Montgomery domain. rMod is R mod m; r2 is R^2 mod m (precomputed at
+// key-generation time, as real RSA implementations do).
+func ModExp(base, exp, m, rMod, r2 *Num, n0inv uint64) Num {
+	xm := MontMul(base, r2, m, n0inv) // to Montgomery domain
+	acc := *rMod                      // Montgomery 1
+	started := false
+	for i := Limbs - 1; i >= 0; i-- {
+		for bit := 63; bit >= 0; bit-- {
+			if started {
+				acc = MontMul(&acc, &acc, m, n0inv)
+			}
+			if exp[i]>>uint(bit)&1 != 0 {
+				acc = MontMul(&acc, &xm, m, n0inv)
+				started = true
+			}
+		}
+	}
+	var one Num
+	one[0] = 1
+	return MontMul(&acc, &one, m, n0inv) // out of the domain
+}

@@ -1,0 +1,64 @@
+package simmem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	m := New(1 << 16)
+	prop := func(off uint16, v uint64, szSel uint8) bool {
+		size := []int{1, 2, 4, 8}[szSel%4]
+		addr := Base + uint64(off)
+		m.Store(addr, size, v)
+		want := v
+		if size < 8 {
+			want = v & (1<<(8*uint(size)) - 1)
+		}
+		return m.Load(addr, size) == want
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLittleEndian(t *testing.T) {
+	m := New(1 << 12)
+	m.Store(Base, 4, 0x11223344)
+	if m.Load(Base, 1) != 0x44 || m.Load(Base+3, 1) != 0x11 {
+		t.Fatal("not little-endian")
+	}
+}
+
+func TestBytesHelpers(t *testing.T) {
+	m := New(1 << 12)
+	m.WriteBytes(Base+16, []byte{1, 2, 3, 4})
+	got := m.ReadBytes(Base+16, 4)
+	if got[0] != 1 || got[3] != 4 {
+		t.Fatal("WriteBytes/ReadBytes mismatch")
+	}
+	m.WriteUint32s(Base+32, []uint32{0xaabbccdd, 0x11223344})
+	ws := m.ReadUint32s(Base+32, 2)
+	if ws[0] != 0xaabbccdd || ws[1] != 0x11223344 {
+		t.Fatal("WriteUint32s/ReadUint32s mismatch")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	m := New(1 << 12)
+	cases := []func(){
+		func() { m.Load(0, 8) },                     // below Base
+		func() { m.Load(Base+uint64(m.Size()), 1) }, // past the end
+		func() { m.Store(Base, 3, 0) },              // bad size
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
