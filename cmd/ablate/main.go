@@ -22,15 +22,15 @@ func main() {
 		"parameter to sweep: "+strings.Join(experiments.AblationNames(), ", "))
 	cipher := flag.String("cipher", "", "restrict to one cipher (default: all)")
 	md := flag.Bool("md", false, "emit a markdown table")
+	asJSON := flag.Bool("json", false, "emit the report as JSON")
 	flag.Parse()
 	r, err := experiments.Ablate(*param, *cipher)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
-	if *md {
-		fmt.Print(r.Markdown())
-	} else {
-		fmt.Print(r.Text())
+	if err := experiments.Emit(os.Stdout, r, *md, *asJSON); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
 	}
 }

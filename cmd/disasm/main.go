@@ -22,16 +22,9 @@ func main() {
 	setup := flag.Bool("setup", false, "disassemble the key-setup program")
 	flag.Parse()
 
-	var feat isa.Feature
-	switch *level {
-	case "norot":
-		feat = isa.FeatNoRot
-	case "rot":
-		feat = isa.FeatRot
-	case "opt":
-		feat = isa.FeatOpt
-	default:
-		fmt.Fprintf(os.Stderr, "unknown ISA level %q\n", *level)
+	feat, err := isa.ParseFeature(*level)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	k, err := kernels.Get(*cipher)

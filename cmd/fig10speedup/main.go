@@ -4,4 +4,4 @@ package main
 
 import "cryptoarch/internal/experiments"
 
-func main() { experiments.Main(experiments.Fig10) }
+func main() { experiments.Main("figure-10", experiments.Fig10) }

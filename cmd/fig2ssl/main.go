@@ -4,4 +4,4 @@ package main
 
 import "cryptoarch/internal/experiments"
 
-func main() { experiments.Main(experiments.Fig2) }
+func main() { experiments.Main("figure-2", experiments.Fig2) }

@@ -4,4 +4,4 @@ package main
 
 import "cryptoarch/internal/experiments"
 
-func main() { experiments.Main(experiments.Fig4) }
+func main() { experiments.Main("figure-4", experiments.Fig4) }

@@ -4,4 +4,4 @@ package main
 
 import "cryptoarch/internal/experiments"
 
-func main() { experiments.Main(experiments.Fig5) }
+func main() { experiments.Main("figure-5", experiments.Fig5) }

@@ -4,4 +4,4 @@ package main
 
 import "cryptoarch/internal/experiments"
 
-func main() { experiments.Main(experiments.Fig6) }
+func main() { experiments.Main("figure-6", experiments.Fig6) }

@@ -4,4 +4,4 @@ package main
 
 import "cryptoarch/internal/experiments"
 
-func main() { experiments.Main(experiments.Fig7) }
+func main() { experiments.Main("figure-7", experiments.Fig7) }

@@ -13,6 +13,7 @@ import (
 
 func main() {
 	md := flag.Bool("md", false, "emit markdown tables")
+	asJSON := flag.Bool("json", false, "emit the reports as JSON")
 	flag.Parse()
 	for _, run := range []func() (*experiments.Report, error){
 		experiments.Table1, experiments.Table2,
@@ -22,10 +23,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
-		if *md {
-			fmt.Println(r.Markdown())
-		} else {
-			fmt.Println(r.Text())
+		if err := experiments.Emit(os.Stdout, r, *md, *asJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
 		}
+		fmt.Println()
 	}
 }

@@ -4,4 +4,4 @@ package main
 
 import "cryptoarch/internal/experiments"
 
-func main() { experiments.Main(experiments.ValuePred) }
+func main() { experiments.Main("sec-4.3-valuepred", experiments.ValuePred) }

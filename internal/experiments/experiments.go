@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 	"sync"
@@ -26,11 +27,18 @@ var Ciphers = []string{"3des", "blowfish", "idea", "mars", "rc4", "rc6", "rijnda
 
 // Report is a rendered experiment: a title, column headers, and rows.
 type Report struct {
-	ID      string // e.g. "figure-4"
-	Title   string
-	Note    string
-	Columns []string
-	Rows    [][]string
+	ID      string     `json:"id"` // e.g. "figure-4"
+	Title   string     `json:"title"`
+	Note    string     `json:"note,omitempty"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+// JSON renders the report as machine-readable JSON, so benchmark
+// trajectories can be scraped (e.g. with jq) instead of parsed from the
+// aligned text tables.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
 }
 
 // Text renders the report as an aligned plain-text table.

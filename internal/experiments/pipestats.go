@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cryptoarch/internal/harness"
+	"cryptoarch/internal/isa"
+	"cryptoarch/internal/ooo"
+)
+
+// PipeStats runs one cipher session at a kernel-variant level on a
+// machine model and reports the per-cause commit-slot stall attribution —
+// the single-run, always-on counterpart of Figure 5's bottleneck
+// re-insertion study. The optional observer can attach a pipeline-event
+// tracer to the run.
+func PipeStats(cipher string, feat isa.Feature, cfg ooo.Config, sessionBytes int, obs harness.RunObserver) (*Report, *ooo.Stats, error) {
+	st, err := harness.TimeKernelObserved(cipher, feat, cfg, sessionBytes, 12345, obs)
+	if err != nil {
+		return nil, nil, err
+	}
+	r := &Report{
+		ID: "pipestats",
+		Title: fmt.Sprintf("Commit-slot stall attribution: %s/%s on %s, %d-byte session",
+			cipher, feat, cfg.Name, sessionBytes),
+		Columns: []string{"Cause", "Slots", "Share"},
+	}
+	total := st.Stalls.Slots()
+	if total == 0 {
+		r.Note = fmt.Sprintf("cycles=%d insts=%d IPC=%.2f — slot attribution is undefined "+
+			"for infinite-issue machines (no commit-slot budget)", st.Cycles, st.Instructions, st.IPC())
+		return r, st, nil
+	}
+	for c := ooo.StallCause(0); c < ooo.NumStallCauses; c++ {
+		r.Rows = append(r.Rows, []string{
+			c.String(),
+			fmt.Sprint(st.Stalls[c]),
+			fmt.Sprintf("%.2f%%", 100*st.Stalls.Share(c)),
+		})
+	}
+	r.Rows = append(r.Rows, []string{"total", fmt.Sprint(total), "100.00%"})
+	r.Note = fmt.Sprintf(
+		"cycles=%d insts=%d IPC=%.2f mispredict=%.2f%% sbox-hit=%.1f%% | "+
+			"slots=%d = cycles x width %d | grouped shares: issue+res=%.1f%% branch=%.1f%% mem=%.1f%% alias=%.1f%%",
+		st.Cycles, st.Instructions, st.IPC(),
+		100*st.MispredictRate(), 100*st.SboxHitRate(),
+		total, cfg.IssueWidth,
+		100*float64(st.Stalls.IssueResSlots())/float64(total),
+		100*float64(st.Stalls.BranchSlots())/float64(total),
+		100*float64(st.Stalls.MemSlots())/float64(total),
+		100*st.Stalls.Share(ooo.StallAlias))
+	return r, st, nil
+}

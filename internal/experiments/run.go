@@ -3,7 +3,9 @@ package experiments
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 )
 
 // Generator is one experiment entry point.
@@ -29,18 +31,46 @@ func All() []Generator {
 }
 
 // Main is the shared entry point of the per-experiment commands: it runs
-// the generator and prints the report (plain text, or markdown with -md).
-func Main(run func() (*Report, error)) {
-	md := flag.Bool("md", false, "emit a markdown table")
-	flag.Parse()
+// the generator and prints the report — plain text, markdown with -md, or
+// JSON with -json. The flag set is named after the experiment so that an
+// unknown flag produces a usage message identifying which experiment the
+// command regenerates.
+func Main(name string, run func() (*Report, error)) {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	md := fs.Bool("md", false, "emit a markdown table")
+	asJSON := fs.Bool("json", false, "emit the report as JSON")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "Usage of %s (regenerates experiment %q):\n", filepath.Base(os.Args[0]), name)
+		fs.PrintDefaults()
+	}
+	fs.Parse(os.Args[1:])
 	r, err := run()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
-	if *md {
-		fmt.Print(r.Markdown())
-	} else {
-		fmt.Print(r.Text())
+	if err := Emit(os.Stdout, r, *md, *asJSON); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+// Emit writes a report in the selected rendering (text by default; JSON
+// wins over markdown when both are requested).
+func Emit(w io.Writer, r *Report, md, asJSON bool) error {
+	switch {
+	case asJSON:
+		b, err := r.JSON()
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintln(w, string(b))
+		return err
+	case md:
+		_, err := fmt.Fprint(w, r.Markdown())
+		return err
+	default:
+		_, err := fmt.Fprint(w, r.Text())
+		return err
 	}
 }

@@ -53,18 +53,41 @@ func Prepare(w *Workload, feat isa.Feature) (*emu.Machine, error) {
 	return m, err
 }
 
+// RunObserver instruments the timing engine immediately before a run
+// starts — e.g. to attach an ooo.Tracer, or to capture the engine for
+// interval statistics. A nil observer is ignored.
+type RunObserver func(*ooo.Engine)
+
+// TracerObserver is the common case: an observer that attaches a
+// pipeline-event tracer to the engine.
+func TracerObserver(t ooo.Tracer) RunObserver {
+	return func(e *ooo.Engine) { e.SetTracer(t) }
+}
+
 // TimeKernel runs one cipher-kernel session on a machine configuration and
 // returns the timing statistics.
 func TimeKernel(cipher string, feat isa.Feature, cfg ooo.Config, sessionBytes int, seed int64) (*ooo.Stats, error) {
+	return TimeKernelObserved(cipher, feat, cfg, sessionBytes, seed, nil)
+}
+
+// TimeKernelObserved is TimeKernel with a RunObserver hooked in between
+// engine construction and the run.
+func TimeKernelObserved(cipher string, feat isa.Feature, cfg ooo.Config, sessionBytes int, seed int64, obs RunObserver) (*ooo.Stats, error) {
 	w, err := NewWorkload(cipher, sessionBytes, seed)
 	if err != nil {
 		return nil, err
 	}
-	return TimeWorkload(w, feat, cfg)
+	return TimeWorkloadObserved(w, feat, cfg, obs)
 }
 
 // TimeWorkload times a prepared workload.
 func TimeWorkload(w *Workload, feat isa.Feature, cfg ooo.Config) (*ooo.Stats, error) {
+	return TimeWorkloadObserved(w, feat, cfg, nil)
+}
+
+// TimeWorkloadObserved times a prepared workload, calling obs (when
+// non-nil) on the warmed engine before the run starts.
+func TimeWorkloadObserved(w *Workload, feat isa.Feature, cfg ooo.Config, obs RunObserver) (*ooo.Stats, error) {
 	k, err := kernels.Get(w.Cipher)
 	if err != nil {
 		return nil, err
@@ -76,6 +99,9 @@ func TimeWorkload(w *Workload, feat isa.Feature, cfg ooo.Config) (*ooo.Stats, er
 	eng := ooo.NewEngine(cfg, ooo.MachineStream{M: m})
 	eng.WarmData(kernels.CtxAddr, k.CtxBytes)
 	eng.WarmCode(len(m.Prog.Code))
+	if obs != nil {
+		obs(eng)
+	}
 	return eng.Run()
 }
 

@@ -26,6 +26,20 @@ var (
 	FeatOpt   = Feature{HWRotate: true, CryptoExt: true}
 )
 
+// ParseFeature resolves a kernel-variant name (norot, rot, opt) to its
+// Feature level — the inverse of Feature.String.
+func ParseFeature(name string) (Feature, error) {
+	switch name {
+	case "norot":
+		return FeatNoRot, nil
+	case "rot":
+		return FeatRot, nil
+	case "opt":
+		return FeatOpt, nil
+	}
+	return Feature{}, fmt.Errorf("isa: unknown feature level %q (want norot, rot or opt)", name)
+}
+
 func (f Feature) String() string {
 	switch f {
 	case FeatNoRot:

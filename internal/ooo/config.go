@@ -12,7 +12,10 @@
 // are expressed.
 package ooo
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Config describes one machine model (the paper's Table 2 plus the
 // bottleneck-analysis knobs of Figure 5).
@@ -147,3 +150,20 @@ func BottleneckConfig(name string) (Config, error) {
 
 // Bottlenecks lists the Figure 5 bars in presentation order.
 var Bottlenecks = []string{"Alias", "Branch", "Issue", "Mem", "Res", "Window", "All"}
+
+// Models lists the paper's named machine models.
+var Models = []Config{FourWide, FourWidePlus, EightWidePlus, Dataflow}
+
+// ModelByName resolves a machine-model name: 4W, 4W+, 8W+, DF, or a
+// Figure 5 single-bottleneck machine written DF+<name> (e.g. DF+Issue).
+func ModelByName(name string) (Config, error) {
+	for _, m := range Models {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	if strings.HasPrefix(name, "DF+") {
+		return BottleneckConfig(strings.TrimPrefix(name, "DF+"))
+	}
+	return Config{}, fmt.Errorf("ooo: unknown machine model %q (want 4W, 4W+, 8W+, DF or DF+<bottleneck>)", name)
+}

@@ -46,6 +46,10 @@ type Stats struct {
 	DL1Misses    uint64
 	L2Misses     uint64
 	TLBMisses    uint64
+
+	// Stalls attributes every commit slot (Cycles*IssueWidth of them on
+	// finite-width machines) to one cause; see stats.go.
+	Stalls StallBreakdown
 }
 
 // IPC returns retired instructions per cycle.
@@ -81,13 +85,23 @@ type entry struct {
 	needStores      uint64 // loads: stores that must have known addresses
 	memBlocked      bool   // waiting on store-address ordering
 
-	mispred bool
+	mispred      bool
+	memLevel     uint8 // deepest miss level of this entry's data access
+	issueDelayed bool  // issued later than its ready cycle (passed over)
 
 	fetchCycle    uint64
 	dispatchCycle uint64
 	readyCycle    uint64
 	doneCycle     uint64
 }
+
+// Data-access miss levels recorded per entry (deepest wins).
+const (
+	memHit uint8 = iota
+	memMissDL1
+	memMissTLB
+	memMissL2
+)
 
 // seqHeap is a min-heap of entry seqs (oldest-first issue order).
 type seqHeap []uint64
@@ -185,6 +199,7 @@ type Engine struct {
 	// Fetch state.
 	fetchQ               []uint64 // seqs in fetch/decode queue (dispatch order)
 	fetchStallTil        uint64
+	fetchStallBranch     bool // fetchStallTil is branch recovery, not I-cache
 	fetchBlockedOnBranch bool
 	blockedBranchSeq     uint64
 	lastFetchLine        uint64
@@ -203,22 +218,30 @@ type Engine struct {
 	rotUsed      int
 	dportUsed    int
 	sboxPortUsed []int
+
+	// Observability (see stats.go, trace.go). The tracer is nil unless
+	// attached; accounting reads pipeline state but never changes it.
+	tracer           Tracer
+	commitsThisCycle int
+	issuedThisCycle  int
+	windowFullCycle  uint64 // last cycle dispatch was blocked by a full window
 }
 
 // NewEngine creates a timing engine for cfg over src.
 func NewEngine(cfg Config, src Stream) *Engine {
 	e := &Engine{
-		cfg:            cfg,
-		src:            src,
-		mem:            newMemSystem(),
-		bp:             newBpred(),
-		storeIssued:    make(map[uint64]bool),
-		memWaiterNeeds: make(map[uint64]uint64),
-		lastStoreByte:  make(map[uint64]uint64),
-		completions:    make(map[uint64][]uint64),
-		futureReady:    make(map[uint64][]uint64),
-		sboxCaches:     make([]sboxCache, cfg.NumSboxCaches),
-		sboxPortUsed:   make([]int, cfg.NumSboxCaches),
+		cfg:             cfg,
+		src:             src,
+		mem:             newMemSystem(),
+		bp:              newBpred(),
+		storeIssued:     make(map[uint64]bool),
+		memWaiterNeeds:  make(map[uint64]uint64),
+		lastStoreByte:   make(map[uint64]uint64),
+		completions:     make(map[uint64][]uint64),
+		futureReady:     make(map[uint64][]uint64),
+		sboxCaches:      make([]sboxCache, cfg.NumSboxCaches),
+		sboxPortUsed:    make([]int, cfg.NumSboxCaches),
+		windowFullCycle: ^uint64(0),
 	}
 	e.stats.Config = cfg.Name
 	// The ring holds both the fetch queue and the window; size it for the
@@ -324,6 +347,10 @@ func (e *Engine) Run() (*Stats, error) {
 			return nil, fmt.Errorf("ooo: %s deadlocked at cycle %d (head %d tail %d)",
 				e.cfg.Name, e.cycle, e.headSeq, e.tailSeq)
 		}
+		// Charge this cycle's commit slots. The final (break) iteration is
+		// not a counted cycle, so accounted cycles == Stats.Cycles and the
+		// buckets sum to exactly Cycles*IssueWidth.
+		e.account()
 		e.cycle++
 	}
 	e.stats.Cycles = e.cycle
@@ -368,6 +395,9 @@ func (e *Engine) writeback() bool {
 	for _, s := range seqs {
 		en := e.at(s)
 		en.state = stDone
+		if e.tracer != nil {
+			e.tracer.Event(TraceWriteback, e.cycle, s, en.idx, en.inst)
+		}
 		for _, c := range en.consumers {
 			ce := e.at(c)
 			if ce.seq != c || ce.state != stWaiting {
@@ -387,6 +417,7 @@ func (e *Engine) writeback() bool {
 			}
 			if resume > e.fetchStallTil {
 				e.fetchStallTil = resume
+				e.fetchStallBranch = true
 			}
 		}
 	}
@@ -439,10 +470,116 @@ func (e *Engine) commit() bool {
 		if en.isLoad || en.isStore {
 			e.memOps--
 		}
+		if e.tracer != nil {
+			e.tracer.Event(TraceCommit, e.cycle, en.seq, en.idx, en.inst)
+		}
 		e.headSeq++
 		n++
 	}
+	e.commitsThisCycle = n
 	return n > 0
+}
+
+// account charges this cycle's commit slots: each retiring instruction
+// uses one; every unused slot is blamed on the single cause observed at
+// the reorder-buffer head (or on the front end when the window is empty).
+func (e *Engine) account() {
+	width := e.cfg.IssueWidth
+	if inf(width) {
+		return // slot attribution is defined only for finite widths
+	}
+	sb := &e.stats.Stalls
+	n := uint64(e.commitsThisCycle)
+	sb[StallCommit] += n
+	if n >= uint64(width) {
+		return
+	}
+	sb[e.headBlame()] += uint64(width) - n
+}
+
+// headBlame picks the stall cause for this cycle's unused commit slots.
+func (e *Engine) headBlame() StallCause {
+	if e.headSeq == e.tailSeq {
+		// Window empty: the front end starves commit.
+		switch {
+		case e.fetchBlockedOnBranch:
+			return StallBranch
+		case e.cycle < e.fetchStallTil:
+			if e.fetchStallBranch {
+				return StallBranch
+			}
+			return StallICache
+		case e.streamDone && !e.pendingValid && len(e.fetchQ) == 0:
+			return StallDrain
+		default:
+			return StallIFetch // fetched but not yet decoded/dispatched
+		}
+	}
+	if len(e.fetchQ) > 0 && e.fetchQ[0] == e.headSeq {
+		return StallIFetch // oldest in flight is fetched, not yet dispatched
+	}
+	en := e.at(e.headSeq)
+	switch {
+	case en.state == stWaiting && en.memBlocked:
+		return StallAlias
+	case en.state == stReady && en.readyCycle > e.cycle:
+		return StallIFetch // dispatch/rename fill: became ready too late
+	case en.state == stReady:
+		// Ready but not issued this cycle. Oldest-first selection means
+		// the head is passed over only when its own pool is saturated or
+		// the whole issue width went to it being unreachable.
+		if k := kindOf(en); !e.kindHasRoom(k) {
+			return fuStall(k)
+		}
+		return StallIssue
+	}
+	// Executing (or completing this cycle). In order of evidence:
+	// a head that was passed over after becoming ready lost those cycles
+	// to issue bandwidth or to the pool it competes for (the paper's
+	// Issue/Res bottlenecks); a head sitting on a cache or TLB miss is a
+	// memory stall; a machine whose dispatch is blocked on a full window
+	// is either issue-bandwidth saturated (the issue stage consumed its
+	// whole width this cycle — more window would not have helped) or
+	// genuinely window-limited (a full window still could not feed the
+	// issue width); anything else is the head's own execution latency.
+	if en.issueDelayed {
+		if k := kindOf(en); !e.kindHasRoom(k) {
+			return fuStall(k)
+		}
+		return StallIssue
+	}
+	switch en.memLevel {
+	case memMissL2:
+		return StallL2Miss
+	case memMissTLB:
+		return StallTLBMiss
+	case memMissDL1:
+		return StallDL1Miss
+	}
+	if e.windowFullCycle == e.cycle {
+		if e.issuedThisCycle >= e.cfg.IssueWidth {
+			return StallIssue
+		}
+		return StallWindow
+	}
+	return StallExec
+}
+
+// fuStall maps a saturated resource kind to its stall bucket.
+func fuStall(k int) StallCause {
+	switch {
+	case k == kindIALU:
+		return StallIALU
+	case k == kindMul32 || k == kindMul64:
+		return StallMult
+	case k == kindRot:
+		return StallRot
+	case k == kindDPort:
+		return StallDPort
+	case k >= kindSbox0:
+		return StallSboxPort
+	}
+	return StallIssue // kindNone: only issue width can hold it back
 }
 
 // resetRes clears the per-cycle resource counters.
@@ -509,14 +646,14 @@ func (e *Engine) latency(en *entry) uint64 {
 			if e.cfg.PerfectMem {
 				return core.LatSboxDCache
 			}
-			return e.memLatNoAgen(en.addr)
+			return e.dataAccessClassified(en)
 		}
 		return e.sboxAccess(en)
 	case en.isLoad:
 		if e.cfg.PerfectMem {
 			return core.LatLoadAgen + core.LatDCacheAccess
 		}
-		return core.LatLoadAgen + e.mem.dataAccess(en.addr, e.cycle)
+		return core.LatLoadAgen + e.dataAccessClassified(en)
 	case en.isStore:
 		if !e.cfg.PerfectMem {
 			e.mem.dataAccess(en.addr, e.cycle) // allocate/dirty the line
@@ -533,10 +670,20 @@ func (e *Engine) latency(en *entry) uint64 {
 	}
 }
 
-// memLatNoAgen is an SBOX access through a D-cache port: the access skips
-// address generation.
-func (e *Engine) memLatNoAgen(addr uint64) uint64 {
-	return e.mem.dataAccess(addr, e.cycle)
+// dataAccessClassified performs a data-hierarchy access and records the
+// deepest level the access missed at on the entry, for stall attribution.
+func (e *Engine) dataAccessClassified(en *entry) uint64 {
+	d0, l0, t0 := e.mem.DL1Miss, e.mem.L2Miss, e.mem.TLBMiss
+	lat := e.mem.dataAccess(en.addr, e.cycle)
+	switch {
+	case e.mem.L2Miss > l0:
+		en.memLevel = memMissL2
+	case e.mem.TLBMiss > t0:
+		en.memLevel = memMissTLB
+	case e.mem.DL1Miss > d0:
+		en.memLevel = memMissDL1
+	}
+	return lat
 }
 
 // sboxAccess models the dedicated SBox caches: single-tag sector caches
@@ -557,7 +704,7 @@ func (e *Engine) sboxAccess(en *entry) uint64 {
 		return core.LatSboxCache
 	}
 	c.valid |= sector
-	return core.LatSboxCache + e.mem.dataAccess(en.addr, e.cycle)
+	return core.LatSboxCache + e.dataAccessClassified(en)
 }
 
 // issue selects ready entries oldest-first across the per-kind queues,
@@ -589,10 +736,14 @@ func (e *Engine) issue() bool {
 		en := e.at(bestSeq)
 		e.reserve(best)
 		en.state = stIssued
+		en.issueDelayed = e.cycle > en.readyCycle
 		lat := e.latency(en)
 		en.doneCycle = e.cycle + lat
 		e.completions[en.doneCycle] = append(e.completions[en.doneCycle], bestSeq)
 		issued++
+		if e.tracer != nil {
+			e.tracer.Event(TraceIssue, e.cycle, bestSeq, en.idx, en.inst)
+		}
 		if en.isStore {
 			e.storeIssued[en.storeOrdinal] = true
 			e.advanceStoreKnown()
@@ -603,6 +754,7 @@ func (e *Engine) issue() bool {
 			}
 		}
 	}
+	e.issuedThisCycle = issued
 	return issued > 0
 }
 
@@ -642,6 +794,7 @@ func (e *Engine) dispatch() bool {
 			break
 		}
 		if e.windowOcc() >= e.effWindow() {
+			e.windowFullCycle = e.cycle
 			break
 		}
 		s := e.fetchQ[0]
@@ -668,6 +821,9 @@ func (e *Engine) wireDependencies(en *entry) {
 	en.dispatchCycle = e.cycle
 	e.stats.Instructions++
 	e.stats.ClassCounts[en.inst.Class]++
+	if e.tracer != nil {
+		e.tracer.Event(TraceDispatch, e.cycle, en.seq, en.idx, en.inst)
+	}
 
 	srcs := en.inst.Sources(e.srcScratch[:0])
 	if en.isStore {
@@ -779,6 +935,7 @@ func (e *Engine) fetch() bool {
 			if lat := e.mem.instAccess(CodeBase+uint64(rec.Idx)*4, e.cycle); lat > 0 {
 				e.lastFetchLine = line
 				e.fetchStallTil = e.cycle + lat
+				e.fetchStallBranch = false
 				break
 			}
 			e.lastFetchLine = line
@@ -812,6 +969,9 @@ func (e *Engine) fetch() bool {
 		e.fetchQ = append(e.fetchQ, seq)
 		e.pendingValid = false
 		fetched++
+		if e.tracer != nil {
+			e.tracer.Event(TraceFetch, e.cycle, seq, rec.Idx, rec.Inst)
+		}
 
 		// Branch handling.
 		if p.Branch {

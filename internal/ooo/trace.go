@@ -1,0 +1,160 @@
+package ooo
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+
+	"cryptoarch/internal/isa"
+)
+
+// TraceStage identifies a pipeline event.
+type TraceStage uint8
+
+const (
+	TraceFetch TraceStage = iota
+	TraceDispatch
+	TraceIssue
+	TraceWriteback
+	TraceCommit
+	NumTraceStages
+)
+
+var traceStageNames = [NumTraceStages]string{
+	"fetch", "dispatch", "issue", "writeback", "commit",
+}
+
+func (s TraceStage) String() string {
+	if int(s) < len(traceStageNames) {
+		return traceStageNames[s]
+	}
+	return "stage(?)"
+}
+
+// Tracer observes pipeline events. The engine emits one event per
+// instruction per stage, in nondecreasing cycle order. Implementations
+// must not retain inst beyond the call. A nil tracer (the default) costs
+// a single pointer comparison per event site and allocates nothing.
+type Tracer interface {
+	Event(stage TraceStage, cycle, seq uint64, pc int, inst *isa.Inst)
+}
+
+// SetTracer attaches a pipeline-event tracer (nil detaches). Tracing is
+// purely observational: it never alters timing.
+func (e *Engine) SetTracer(t Tracer) { e.tracer = t }
+
+// Tee fans one event stream out to several tracers.
+func Tee(ts ...Tracer) Tracer { return teeTracer(ts) }
+
+type teeTracer []Tracer
+
+func (t teeTracer) Event(stage TraceStage, cycle, seq uint64, pc int, inst *isa.Inst) {
+	for _, s := range t {
+		s.Event(stage, cycle, seq, pc, inst)
+	}
+}
+
+// JSONLTracer writes one JSON object per event:
+//
+//	{"cycle":41,"seq":7,"pc":12,"stage":"issue","op":"roll","class":"rotate"}
+//
+// Lines are hand-assembled into a reused buffer (no per-event
+// allocation) and buffered; call Flush before reading the output.
+type JSONLTracer struct {
+	w   *bufio.Writer
+	buf []byte
+}
+
+// NewJSONLTracer wraps w in a buffered JSONL event sink.
+func NewJSONLTracer(w io.Writer) *JSONLTracer {
+	return &JSONLTracer{w: bufio.NewWriter(w), buf: make([]byte, 0, 128)}
+}
+
+// Event implements Tracer.
+func (t *JSONLTracer) Event(stage TraceStage, cycle, seq uint64, pc int, inst *isa.Inst) {
+	b := t.buf[:0]
+	b = append(b, `{"cycle":`...)
+	b = strconv.AppendUint(b, cycle, 10)
+	b = append(b, `,"seq":`...)
+	b = strconv.AppendUint(b, seq, 10)
+	b = append(b, `,"pc":`...)
+	b = strconv.AppendInt(b, int64(pc), 10)
+	b = append(b, `,"stage":"`...)
+	b = append(b, stage.String()...)
+	b = append(b, `","op":"`...)
+	b = append(b, isa.P(inst.Op).Name...)
+	b = append(b, `","class":"`...)
+	b = append(b, inst.Class.String()...)
+	b = append(b, "\"}\n"...)
+	t.buf = b
+	t.w.Write(b)
+}
+
+// Flush drains the write buffer.
+func (t *JSONLTracer) Flush() error { return t.w.Flush() }
+
+// KonataTracer writes the Kanata log format consumed by the Konata
+// pipeline visualizer (https://github.com/shioyadan/Konata): one lane per
+// instruction with stages F (fetch), Ds (dispatch), Is (issue) and Wb
+// (writeback), retired at commit.
+type KonataTracer struct {
+	w         *bufio.Writer
+	buf       []byte
+	started   bool
+	lastCycle uint64
+}
+
+// NewKonataTracer wraps w in a buffered Kanata-format sink.
+func NewKonataTracer(w io.Writer) *KonataTracer {
+	return &KonataTracer{w: bufio.NewWriter(w), buf: make([]byte, 0, 128)}
+}
+
+func (t *KonataTracer) line(parts ...string) {
+	b := t.buf[:0]
+	for i, p := range parts {
+		if i > 0 {
+			b = append(b, '\t')
+		}
+		b = append(b, p...)
+	}
+	b = append(b, '\n')
+	t.buf = b
+	t.w.Write(b)
+}
+
+func (t *KonataTracer) advance(cycle uint64) {
+	if !t.started {
+		t.line("Kanata", "0004")
+		t.line("C=", strconv.FormatUint(cycle, 10))
+		t.started = true
+		t.lastCycle = cycle
+		return
+	}
+	if cycle > t.lastCycle {
+		t.line("C", strconv.FormatUint(cycle-t.lastCycle, 10))
+		t.lastCycle = cycle
+	}
+}
+
+// Event implements Tracer.
+func (t *KonataTracer) Event(stage TraceStage, cycle, seq uint64, pc int, inst *isa.Inst) {
+	t.advance(cycle)
+	id := strconv.FormatUint(seq, 10)
+	switch stage {
+	case TraceFetch:
+		t.line("I", id, id, "0")
+		t.line("L", id, "0", strconv.Itoa(pc)+": "+isa.P(inst.Op).Name)
+		t.line("S", id, "0", "F")
+	case TraceDispatch:
+		t.line("S", id, "0", "Ds")
+	case TraceIssue:
+		t.line("S", id, "0", "Is")
+	case TraceWriteback:
+		t.line("S", id, "0", "Wb")
+	case TraceCommit:
+		t.line("R", id, id, "0")
+	}
+}
+
+// Flush drains the write buffer.
+func (t *KonataTracer) Flush() error { return t.w.Flush() }

@@ -1,0 +1,119 @@
+package ooo_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"cryptoarch/internal/harness"
+	"cryptoarch/internal/isa"
+	"cryptoarch/internal/ooo"
+)
+
+// traceSession runs a tiny RC4 session with the given tracer attached.
+func traceSession(t *testing.T, tr ooo.Tracer) *ooo.Stats {
+	t.Helper()
+	st, err := harness.TimeKernelObserved("rc4", isa.FeatRot, ooo.FourWide, 256, 42,
+		harness.TracerObserver(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestJSONLTracer: every line is valid JSON with the expected fields, and
+// the number of commit events equals retired instructions.
+func TestJSONLTracer(t *testing.T) {
+	var buf bytes.Buffer
+	tr := ooo.NewJSONLTracer(&buf)
+	st := traceSession(t, tr)
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	type ev struct {
+		Cycle *uint64 `json:"cycle"`
+		Seq   *uint64 `json:"seq"`
+		PC    *int    `json:"pc"`
+		Stage string  `json:"stage"`
+		Op    string  `json:"op"`
+		Class string  `json:"class"`
+	}
+	var commits, lines uint64
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		lines++
+		var e ev
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %d: bad JSON %q: %v", lines, sc.Text(), err)
+		}
+		if e.Cycle == nil || e.Seq == nil || e.PC == nil || e.Stage == "" || e.Op == "" || e.Class == "" {
+			t.Fatalf("line %d: missing field in %q", lines, sc.Text())
+		}
+		if e.Stage == "commit" {
+			commits++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if commits != st.Instructions {
+		t.Errorf("commit events %d != instructions %d", commits, st.Instructions)
+	}
+	if want := st.Instructions * uint64(ooo.NumTraceStages); lines != want {
+		t.Errorf("total events %d != instructions*stages %d", lines, want)
+	}
+}
+
+// TestKonataTracer: the log starts with the Kanata header, opens one lane
+// per instruction (I records) and retires every lane (R records).
+func TestKonataTracer(t *testing.T) {
+	var buf bytes.Buffer
+	tr := ooo.NewKonataTracer(&buf)
+	st := traceSession(t, tr)
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) < 2 || lines[0] != "Kanata\t0004" {
+		t.Fatalf("bad header: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "C=\t") {
+		t.Fatalf("expected initial C= record, got %q", lines[1])
+	}
+	var starts, retires uint64
+	for i, ln := range lines {
+		switch {
+		case strings.HasPrefix(ln, "I\t"):
+			starts++
+		case strings.HasPrefix(ln, "R\t"):
+			retires++
+		case strings.HasPrefix(ln, "C\t"), strings.HasPrefix(ln, "C=\t"),
+			strings.HasPrefix(ln, "S\t"), strings.HasPrefix(ln, "L\t"),
+			ln == "Kanata\t0004":
+		default:
+			t.Fatalf("line %d: unknown record %q", i+1, ln)
+		}
+	}
+	if starts != st.Instructions {
+		t.Errorf("I records %d != instructions %d", starts, st.Instructions)
+	}
+	if retires != st.Instructions {
+		t.Errorf("R records %d != instructions %d", retires, st.Instructions)
+	}
+}
+
+// TestTee: both fan-out targets see the full event stream.
+func TestTee(t *testing.T) {
+	a, b := &countingTracer{}, &countingTracer{}
+	st := traceSession(t, ooo.Tee(a, b))
+	for _, tr := range []*countingTracer{a, b} {
+		if tr.counts[ooo.TraceCommit] != st.Instructions {
+			t.Errorf("tee target saw %d commits, want %d", tr.counts[ooo.TraceCommit], st.Instructions)
+		}
+	}
+}
