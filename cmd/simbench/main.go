@@ -1,0 +1,125 @@
+// Command simbench measures the simulator's own speed — simulated MIPS
+// per machine model, steady-state allocation rate, and the serial vs
+// parallel wall time of the full experiment sweep — and writes the result
+// as machine-readable JSON (BENCH_PR2.json by default) so performance
+// trajectories can be compared across commits.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"cryptoarch/internal/experiments"
+	"cryptoarch/internal/harness"
+	"cryptoarch/internal/isa"
+	"cryptoarch/internal/ooo"
+)
+
+// modelBench is one model's simulation-speed measurement: a fixed
+// blowfish 4KB CBC session (the bench_test.go workload) timed end to end.
+type modelBench struct {
+	Model        string  `json:"model"`
+	Instructions uint64  `json:"simulated_instructions"`
+	Cycles       uint64  `json:"simulated_cycles"`
+	SecPerRun    float64 `json:"seconds_per_run"`
+	SimMIPS      float64 `json:"simulated_mips"`
+	AllocsPerRun int64   `json:"allocs_per_run"`
+	BytesPerRun  int64   `json:"bytes_per_run"`
+}
+
+type result struct {
+	GoVersion            string       `json:"go_version"`
+	GOMAXPROCS           int          `json:"gomaxprocs"`
+	Workload             string       `json:"workload"`
+	Models               []modelBench `json:"models"`
+	SweepCells           int          `json:"sweep_cells"`
+	SweepSerialSeconds   float64      `json:"sweep_serial_seconds"`
+	SweepParallelSeconds float64      `json:"sweep_parallel_seconds"`
+	SweepWorkers         int          `json:"sweep_workers"`
+}
+
+func benchModel(cfg ooo.Config) (modelBench, error) {
+	st, err := harness.TimeKernel("blowfish", isa.FeatRot, cfg, 4096, experiments.DefaultSeed)
+	if err != nil {
+		return modelBench{}, err
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := harness.TimeKernel("blowfish", isa.FeatRot, cfg, 4096, experiments.DefaultSeed); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	sec := r.T.Seconds() / float64(r.N)
+	return modelBench{
+		Model:        cfg.Name,
+		Instructions: st.Instructions,
+		Cycles:       st.Cycles,
+		SecPerRun:    sec,
+		SimMIPS:      float64(st.Instructions) / sec / 1e6,
+		AllocsPerRun: r.AllocsPerOp(),
+		BytesPerRun:  r.AllocedBytesPerOp(),
+	}, nil
+}
+
+func timedSweep(workers int) float64 {
+	experiments.ResetCache()
+	prev := experiments.SetParallelism(workers)
+	defer experiments.SetParallelism(prev)
+	runtime.GC() // level the heap between passes so the second isn't charged the first's garbage
+	start := time.Now()
+	experiments.Sweep(experiments.AllCells())
+	return time.Since(start).Seconds()
+}
+
+func main() {
+	out := flag.String("o", "BENCH_PR2.json", "output file (\"-\" for stdout)")
+	skipSweep := flag.Bool("nosweep", false, "skip the full-suite sweep timing (much faster)")
+	flag.Parse()
+
+	res := result{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workload:   "blowfish/rot/4096B CBC session, seed 12345",
+	}
+	for _, cfg := range []ooo.Config{ooo.FourWide, ooo.FourWidePlus, ooo.EightWidePlus, ooo.Dataflow} {
+		mb, err := benchModel(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "%-4s %8.1f ms/run  %6.2f sim-MIPS  %5d allocs/run\n",
+			mb.Model, 1e3*mb.SecPerRun, mb.SimMIPS, mb.AllocsPerRun)
+		res.Models = append(res.Models, mb)
+	}
+	if !*skipSweep {
+		res.SweepCells = len(experiments.AllCells())
+		res.SweepWorkers = runtime.GOMAXPROCS(0)
+		res.SweepSerialSeconds = timedSweep(1)
+		res.SweepParallelSeconds = timedSweep(res.SweepWorkers)
+		experiments.ResetCache()
+		fmt.Fprintf(os.Stderr, "sweep %d cells: serial %.1fs, %d workers %.1fs\n",
+			res.SweepCells, res.SweepSerialSeconds, res.SweepWorkers, res.SweepParallelSeconds)
+	}
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		os.Exit(1)
+	}
+	b = append(b, '\n')
+	if *out == "-" {
+		os.Stdout.Write(b)
+		return
+	}
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "wrote", *out)
+}

@@ -80,7 +80,7 @@ func Ablate(param, cipher string) (*Report, error) {
 			cfg := ooo.FourWidePlus
 			ab.apply(&cfg, v)
 			cfg.Name = fmt.Sprintf("4W+%s=%d", param, v)
-			st, err := timed(name, isa.FeatOpt, cfg, SessionBytes)
+			st, err := timed(name, isa.FeatOpt, cfg, SessionBytes, DefaultSeed)
 			if err != nil {
 				return nil, err
 			}

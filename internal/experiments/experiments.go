@@ -10,11 +10,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"strings"
-	"sync"
-
-	"cryptoarch/internal/harness"
-	"cryptoarch/internal/isa"
-	"cryptoarch/internal/ooo"
 )
 
 // SessionBytes is the paper's standard session length for all kernel
@@ -88,31 +83,6 @@ func (r *Report) Markdown() string {
 		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
 	}
 	return b.String()
-}
-
-// runCache memoizes timing runs shared between experiments.
-var (
-	runMu    sync.Mutex
-	runCache = map[string]*ooo.Stats{}
-)
-
-// timed runs (or recalls) one kernel session measurement.
-func timed(cipher string, feat isa.Feature, cfg ooo.Config, session int) (*ooo.Stats, error) {
-	key := fmt.Sprintf("%s|%s|%s|%d", cipher, feat, cfg.Name, session)
-	runMu.Lock()
-	st, ok := runCache[key]
-	runMu.Unlock()
-	if ok {
-		return st, nil
-	}
-	st, err := harness.TimeKernel(cipher, feat, cfg, session, 12345)
-	if err != nil {
-		return nil, err
-	}
-	runMu.Lock()
-	runCache[key] = st
-	runMu.Unlock()
-	return st, nil
 }
 
 // rate converts a session measurement to the paper's Figure 4 metric,

@@ -7,6 +7,31 @@ import (
 	"cryptoarch/internal/ooo"
 )
 
+// fig10Bars lists the figure's machine/kernel combinations in bar order.
+var fig10Bars = []struct {
+	feat isa.Feature
+	cfg  ooo.Config
+}{
+	{isa.FeatNoRot, ooo.FourWide},
+	{isa.FeatOpt, ooo.FourWide},
+	{isa.FeatOpt, ooo.FourWidePlus},
+	{isa.FeatOpt, ooo.EightWidePlus},
+	{isa.FeatOpt, ooo.Dataflow},
+}
+
+// Fig10Cells declares the Figure 10 grid: per cipher, the rotate baseline,
+// the no-rotate original, and every bar.
+func Fig10Cells() []Cell {
+	var cells []Cell
+	for _, name := range Ciphers {
+		cells = append(cells, Cell{Kind: CellKernel, Cipher: name, Feat: isa.FeatRot, Cfg: ooo.FourWide, Session: SessionBytes, Seed: DefaultSeed})
+		for _, bar := range fig10Bars {
+			cells = append(cells, Cell{Kind: CellKernel, Cipher: name, Feat: bar.feat, Cfg: bar.cfg, Session: SessionBytes, Seed: DefaultSeed})
+		}
+	}
+	return cells
+}
+
 // Fig10 reproduces Figure 10: speedups of the kernels over the baseline
 // machine running the original code *with rotates* (the paper's
 // normalization target). Orig/4W shows the penalty of lacking rotate
@@ -20,27 +45,16 @@ func Fig10() (*Report, error) {
 			"Cipher", "Orig(norot)/4W", "Opt/4W", "Opt/4W+", "Opt/8W+", "Opt/DF",
 		},
 	}
-	type cell struct {
-		feat isa.Feature
-		cfg  ooo.Config
-	}
-	bars := []cell{
-		{isa.FeatNoRot, ooo.FourWide},
-		{isa.FeatOpt, ooo.FourWide},
-		{isa.FeatOpt, ooo.FourWidePlus},
-		{isa.FeatOpt, ooo.EightWidePlus},
-		{isa.FeatOpt, ooo.Dataflow},
-	}
-	sums := make([]float64, len(bars))
+	sums := make([]float64, len(fig10Bars))
 	var sumNoRotGain float64
 	for _, name := range Ciphers {
-		base, err := timed(name, isa.FeatRot, ooo.FourWide, SessionBytes)
+		base, err := timed(name, isa.FeatRot, ooo.FourWide, SessionBytes, DefaultSeed)
 		if err != nil {
 			return nil, err
 		}
 		row := []string{name}
-		for i, bar := range bars {
-			st, err := timed(name, bar.feat, bar.cfg, SessionBytes)
+		for i, bar := range fig10Bars {
+			st, err := timed(name, bar.feat, bar.cfg, SessionBytes, DefaultSeed)
 			if err != nil {
 				return nil, err
 			}
@@ -48,7 +62,7 @@ func Fig10() (*Report, error) {
 			sums[i] += sp
 			row = append(row, fmt.Sprintf("%.2f", sp))
 			if i == 1 { // Opt/4W vs the no-rotate original
-				noRot, err := timed(name, isa.FeatNoRot, ooo.FourWide, SessionBytes)
+				noRot, err := timed(name, isa.FeatNoRot, ooo.FourWide, SessionBytes, DefaultSeed)
 				if err != nil {
 					return nil, err
 				}

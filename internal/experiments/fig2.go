@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"sync"
 
 	"cryptoarch/internal/isa"
 	"cryptoarch/internal/ooo"
@@ -21,40 +20,50 @@ const (
 	fig2OtherPerSess = 250_000 // connection handling, fixed
 )
 
-var (
-	handshakeOnce   sync.Once
-	handshakeCycles uint64
-	handshakeErr    error
-)
-
-// HandshakeCycles measures (once) the cost of one 1024-bit private-key
-// modular exponentiation — the RSA operation that dominates SSL session
-// establishment — on the baseline 4W model. Production RSA implementations
-// use the Chinese Remainder Theorem (two half-size exponentiations), which
-// is very close to 4x faster than the straight 1024-bit exponentiation our
-// kernel performs, so the measured cycle count is scaled by that factor.
-func HandshakeCycles() (uint64, error) {
+// measureHandshake times one 1024-bit private-key modular exponentiation
+// — the RSA operation that dominates SSL session establishment — on the
+// baseline 4W model. Production RSA implementations use the Chinese
+// Remainder Theorem (two half-size exponentiations), which is very close
+// to 4x faster than the straight 1024-bit exponentiation our kernel
+// performs, so the measured cycle count is scaled by that factor.
+func measureHandshake() (uint64, error) {
 	const crtSpeedup = 4
-	handshakeOnce.Do(func() {
-		w := pubkey.NewWorkload(99)
-		m, _ := pubkey.NewRun(w, isa.FeatRot, 0x20000, 0x80000)
-		eng := ooo.NewEngine(ooo.FourWide, ooo.MachineStream{M: m})
-		eng.WarmData(0x20000, pubkey.CtxBytes)
-		eng.WarmCode(len(m.Prog.Code))
-		st, err := eng.Run()
-		if err != nil {
-			handshakeErr = err
-			return
-		}
-		handshakeCycles = st.Cycles / crtSpeedup
-	})
-	return handshakeCycles, handshakeErr
+	w := pubkey.NewWorkload(99)
+	m, _ := pubkey.NewRun(w, isa.FeatRot, 0x20000, 0x80000)
+	eng := ooo.NewEngine(ooo.FourWide, ooo.MachineStream{M: m})
+	eng.WarmData(0x20000, pubkey.CtxBytes)
+	eng.WarmCode(len(m.Prog.Code))
+	st, err := eng.Run()
+	if err != nil {
+		return 0, err
+	}
+	return st.Cycles / crtSpeedup, nil
+}
+
+// HandshakeCycles returns (running at most once per cache generation) the
+// Figure 2 handshake cost.
+func HandshakeCycles() (uint64, error) {
+	r := getCell(Cell{Kind: CellHandshake})
+	return r.n, r.err
+}
+
+// fig2Bulk lists the bulk ciphers modeled in Figure 2: 3DES (the SSL
+// specification default) and RC4 (the fastest in the suite).
+var fig2Bulk = []string{"3des", "rc4"}
+
+// Fig2Cells declares the Figure 2 grid: the RSA handshake plus one timed
+// session per bulk cipher.
+func Fig2Cells() []Cell {
+	cells := []Cell{{Kind: CellHandshake}}
+	for _, cipher := range fig2Bulk {
+		cells = append(cells, Cell{Kind: CellKernel, Cipher: cipher, Feat: isa.FeatRot, Cfg: ooo.FourWide, Session: SessionBytes, Seed: DefaultSeed})
+	}
+	return cells
 }
 
 // Fig2 reproduces Figure 2: the share of session time spent in public-key
 // cipher code, private-key cipher code, and everything else, as a function
-// of session length. Two bulk ciphers are modeled: 3DES (the SSL
-// specification default) and RC4 (the fastest in the suite).
+// of session length.
 func Fig2() (*Report, error) {
 	h, err := HandshakeCycles()
 	if err != nil {
@@ -67,8 +76,8 @@ func Fig2() (*Report, error) {
 			h, fig2OtherPerByte, fig2OtherPerSess),
 		Columns: []string{"Bulk cipher", "Session", "Public key", "Private key", "Other"},
 	}
-	for _, cipher := range []string{"3des", "rc4"} {
-		st, err := timed(cipher, isa.FeatRot, ooo.FourWide, SessionBytes)
+	for _, cipher := range fig2Bulk {
+		st, err := timed(cipher, isa.FeatRot, ooo.FourWide, SessionBytes, DefaultSeed)
 		if err != nil {
 			return nil, err
 		}

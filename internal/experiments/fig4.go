@@ -3,10 +3,23 @@ package experiments
 import (
 	"fmt"
 
-	"cryptoarch/internal/harness"
 	"cryptoarch/internal/isa"
 	"cryptoarch/internal/ooo"
 )
+
+// Fig4Cells declares the Figure 4 grid: per cipher, an instruction count
+// and two timed sessions (baseline and dataflow).
+func Fig4Cells() []Cell {
+	var cells []Cell
+	for _, name := range Ciphers {
+		cells = append(cells,
+			Cell{Kind: CellCount, Cipher: name, Feat: isa.FeatRot, Session: SessionBytes, Seed: DefaultSeed},
+			Cell{Kind: CellKernel, Cipher: name, Feat: isa.FeatRot, Cfg: ooo.FourWide, Session: SessionBytes, Seed: DefaultSeed},
+			Cell{Kind: CellKernel, Cipher: name, Feat: isa.FeatRot, Cfg: ooo.Dataflow, Session: SessionBytes, Seed: DefaultSeed},
+		)
+	}
+	return cells
+}
 
 // Fig4 reproduces Figure 4: encryption throughput in bytes per 1000
 // cycles for the 1-CPI machine (pure instruction count), the baseline
@@ -24,15 +37,15 @@ func Fig4() (*Report, error) {
 		},
 	}
 	for _, name := range Ciphers {
-		insts, err := harness.CountKernel(name, isa.FeatRot, SessionBytes, 12345)
+		insts, err := counted(name, isa.FeatRot, SessionBytes, DefaultSeed)
 		if err != nil {
 			return nil, err
 		}
-		st4, err := timed(name, isa.FeatRot, ooo.FourWide, SessionBytes)
+		st4, err := timed(name, isa.FeatRot, ooo.FourWide, SessionBytes, DefaultSeed)
 		if err != nil {
 			return nil, err
 		}
-		stDF, err := timed(name, isa.FeatRot, ooo.Dataflow, SessionBytes)
+		stDF, err := timed(name, isa.FeatRot, ooo.Dataflow, SessionBytes, DefaultSeed)
 		if err != nil {
 			return nil, err
 		}

@@ -13,6 +13,41 @@ import (
 // helpers.
 func kernelsGet(name string) (*kernels.Kernel, error) { return kernels.Get(name) }
 
+// opMix is the dynamic instruction-class histogram of one kernel session.
+type opMix struct {
+	counts [isa.NumClasses]uint64
+	total  uint64
+}
+
+// measureOpMix executes one cipher session on the emulator and buckets
+// every committed instruction by class.
+func measureOpMix(cipher string, feat isa.Feature, session int, seed int64) (opMix, error) {
+	var mix opMix
+	w, err := harness.NewWorkload(cipher, session, seed)
+	if err != nil {
+		return mix, err
+	}
+	m, err := harness.Prepare(w, feat)
+	if err != nil {
+		return mix, err
+	}
+	m.Run(func(rec *emu.Rec) {
+		mix.counts[rec.Inst.Class]++
+		mix.total++
+	})
+	return mix, nil
+}
+
+// Fig7Cells declares the Figure 7 grid: one class-mix measurement per
+// cipher.
+func Fig7Cells() []Cell {
+	var cells []Cell
+	for _, name := range Ciphers {
+		cells = append(cells, Cell{Kind: CellMix, Cipher: name, Feat: isa.FeatRot, Session: SessionBytes, Seed: DefaultSeed})
+	}
+	return cells
+}
+
 // Fig7 reproduces Figure 7: the dynamic operation mix of each cipher
 // kernel, as fractions of all committed instructions, bucketed into the
 // paper's eight categories.
@@ -28,23 +63,13 @@ func Fig7() (*Report, error) {
 		isa.ClassSubst, isa.ClassPerm, isa.ClassMem, isa.ClassControl,
 	}
 	for _, name := range Ciphers {
-		w, err := harness.NewWorkload(name, SessionBytes, 12345)
+		mix, err := mixFor(name, isa.FeatRot, SessionBytes, DefaultSeed)
 		if err != nil {
 			return nil, err
 		}
-		m, err := harness.Prepare(w, isa.FeatRot)
-		if err != nil {
-			return nil, err
-		}
-		var counts [isa.NumClasses]uint64
-		var total uint64
-		m.Run(func(rec *emu.Rec) {
-			counts[rec.Inst.Class]++
-			total++
-		})
 		row := []string{name}
 		for _, c := range order {
-			row = append(row, fmt.Sprintf("%.1f%%", 100*float64(counts[c])/float64(total)))
+			row = append(row, fmt.Sprintf("%.1f%%", 100*float64(mix.counts[c])/float64(mix.total)))
 		}
 		r.Rows = append(r.Rows, row)
 	}

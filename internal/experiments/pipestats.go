@@ -14,7 +14,7 @@ import (
 // re-insertion study. The optional observer can attach a pipeline-event
 // tracer to the run.
 func PipeStats(cipher string, feat isa.Feature, cfg ooo.Config, sessionBytes int, obs harness.RunObserver) (*Report, *ooo.Stats, error) {
-	st, err := harness.TimeKernelObserved(cipher, feat, cfg, sessionBytes, 12345, obs)
+	st, err := harness.TimeKernelObserved(cipher, feat, cfg, sessionBytes, DefaultSeed, obs)
 	if err != nil {
 		return nil, nil, err
 	}

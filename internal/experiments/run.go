@@ -8,26 +8,43 @@ import (
 	"path/filepath"
 )
 
-// Generator is one experiment entry point.
+// Generator is one experiment entry point. Cells declares the grid of
+// simulation runs the experiment consumes (nil for experiments that only
+// render static configuration); Run assembles the report, resolving every
+// measurement through the cell cache.
 type Generator struct {
-	Name string
-	Run  func() (*Report, error)
+	Name  string
+	Cells func() []Cell
+	Run   func() (*Report, error)
 }
 
 // All lists every experiment in paper order.
 func All() []Generator {
 	return []Generator{
-		{"table-1", Table1},
-		{"figure-2", Fig2},
-		{"figure-4", Fig4},
-		{"figure-5", Fig5},
-		{"figure-6", Fig6},
-		{"figure-7", Fig7},
-		{"sec-4.3-valuepred", ValuePred},
-		{"table-2", Table2},
-		{"figure-10", Fig10},
-		{"footnote-1-decrypt", DecryptParity},
+		{"table-1", nil, Table1},
+		{"figure-2", Fig2Cells, Fig2},
+		{"figure-4", Fig4Cells, Fig4},
+		{"figure-5", Fig5Cells, Fig5},
+		{"figure-6", Fig6Cells, Fig6},
+		{"figure-7", Fig7Cells, Fig7},
+		{"sec-4.3-valuepred", ValuePredCells, ValuePred},
+		{"table-2", nil, Table2},
+		{"figure-10", Fig10Cells, Fig10},
+		{"footnote-1-decrypt", DecryptParityCells, DecryptParity},
 	}
+}
+
+// AllCells flattens the declared grids of every experiment, in paper
+// order. Feeding the result to Sweep prefetches the entire suite; the
+// generators then assemble their reports from cache hits alone.
+func AllCells() []Cell {
+	var cells []Cell
+	for _, g := range All() {
+		if g.Cells != nil {
+			cells = append(cells, g.Cells()...)
+		}
+	}
+	return cells
 }
 
 // Main is the shared entry point of the per-experiment commands: it runs

@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"cryptoarch/internal/harness"
+	"cryptoarch/internal/isa"
+	"cryptoarch/internal/ooo"
+)
+
+// DefaultSeed is the workload seed used by every published experiment.
+// It is part of each cell's cache key, so measurements at different seeds
+// never collide.
+const DefaultSeed = 12345
+
+// CellKind identifies what a sweep cell measures.
+type CellKind uint8
+
+const (
+	// CellKernel times an encryption session (harness.TimeKernel).
+	CellKernel CellKind = iota
+	// CellSetup times the key-setup program (harness.TimeSetup).
+	CellSetup
+	// CellDecrypt times a decryption session (harness.TimeDecrypt).
+	CellDecrypt
+	// CellCount counts committed instructions (harness.CountKernel).
+	CellCount
+	// CellMix measures the dynamic instruction-class mix (Figure 7).
+	CellMix
+	// CellValuePred measures last-value predictability (Section 4.3).
+	CellValuePred
+	// CellHandshake times the RSA handshake operation (Figure 2).
+	CellHandshake
+)
+
+// Cell is one point of an experiment grid: a single simulation or
+// emulation run, identified by everything that determines its result.
+// Experiments declare the cells they will consume; the scheduler dedups
+// and executes them, and the generators then assemble rows from the cache
+// in paper order.
+type Cell struct {
+	Kind    CellKind
+	Cipher  string
+	Feat    isa.Feature
+	Cfg     ooo.Config
+	Session int
+	Seed    int64
+}
+
+func (c Cell) key() string {
+	return fmt.Sprintf("%d|%s|%s|%s|%d|%d", c.Kind, c.Cipher, c.Feat, c.Cfg.Name, c.Session, c.Seed)
+}
+
+// cellResult is a singleflight slot: the first goroutine to need the cell
+// executes it inside once; everyone else blocks on once and reads the
+// same immutable result. Which field is populated depends on Kind.
+type cellResult struct {
+	once  sync.Once
+	stats *ooo.Stats // kernel, setup, decrypt
+	n     uint64     // count, handshake
+	mix   opMix      // mix
+	vp    vpRow      // valuepred
+	err   error
+}
+
+func (r *cellResult) exec(c Cell) {
+	switch c.Kind {
+	case CellKernel:
+		r.stats, r.err = harness.TimeKernel(c.Cipher, c.Feat, c.Cfg, c.Session, c.Seed)
+	case CellSetup:
+		r.stats, r.err = harness.TimeSetup(c.Cipher, c.Feat, c.Cfg, c.Seed)
+	case CellDecrypt:
+		r.stats, r.err = harness.TimeDecrypt(c.Cipher, c.Feat, c.Cfg, c.Session, c.Seed)
+	case CellCount:
+		r.n, r.err = harness.CountKernel(c.Cipher, c.Feat, c.Session, c.Seed)
+	case CellMix:
+		r.mix, r.err = measureOpMix(c.Cipher, c.Feat, c.Session, c.Seed)
+	case CellValuePred:
+		r.vp, r.err = measureValuePred(c.Cipher, c.Feat, c.Session, c.Seed)
+	case CellHandshake:
+		r.n, r.err = measureHandshake()
+	default:
+		r.err = fmt.Errorf("experiments: unknown cell kind %d", c.Kind)
+	}
+}
+
+var (
+	runMu    sync.Mutex
+	runCache = map[string]*cellResult{}
+	workers  = runtime.GOMAXPROCS(0)
+)
+
+// getCell returns the completed result for c, executing it if this is the
+// first request. Concurrent requests for the same key share one execution.
+func getCell(c Cell) *cellResult {
+	k := c.key()
+	runMu.Lock()
+	r := runCache[k]
+	if r == nil {
+		r = &cellResult{}
+		runCache[k] = r
+	}
+	runMu.Unlock()
+	r.once.Do(func() { r.exec(c) })
+	return r
+}
+
+// SetParallelism fixes the sweep worker count (minimum 1) and returns the
+// previous value. The default is GOMAXPROCS.
+func SetParallelism(n int) int {
+	runMu.Lock()
+	defer runMu.Unlock()
+	prev := workers
+	if n < 1 {
+		n = 1
+	}
+	workers = n
+	return prev
+}
+
+// Parallelism returns the current sweep worker count.
+func Parallelism() int {
+	runMu.Lock()
+	defer runMu.Unlock()
+	return workers
+}
+
+// ResetCache drops every memoized cell result. Used by tests that compare
+// independent serial and parallel regenerations of the suite.
+func ResetCache() {
+	runMu.Lock()
+	runCache = map[string]*cellResult{}
+	runMu.Unlock()
+}
+
+// Sweep executes a grid of cells across the configured worker count.
+// Duplicate cells are executed once; cells already cached cost nothing.
+// Sweep never fails: a cell's error is cached with its slot and
+// resurfaces, deterministically, when a generator assembles the row that
+// consumes it — so report output is identical whether or not a sweep ran
+// first, and regardless of worker count.
+func Sweep(cells []Cell) {
+	seen := make(map[string]bool, len(cells))
+	uniq := cells[:0:0]
+	for _, c := range cells {
+		if k := c.key(); !seen[k] {
+			seen[k] = true
+			uniq = append(uniq, c)
+		}
+	}
+	n := Parallelism()
+	if n > len(uniq) {
+		n = len(uniq)
+	}
+	if n <= 1 {
+		for _, c := range uniq {
+			getCell(c)
+		}
+		return
+	}
+	ch := make(chan Cell)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range ch {
+				getCell(c)
+			}
+		}()
+	}
+	for _, c := range uniq {
+		ch <- c
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// Cached accessors used by the report generators. Each resolves through
+// the cell cache, so a prior Sweep makes assembly a pure lookup.
+
+// timed runs (or recalls) one kernel session measurement.
+func timed(cipher string, feat isa.Feature, cfg ooo.Config, session int, seed int64) (*ooo.Stats, error) {
+	r := getCell(Cell{Kind: CellKernel, Cipher: cipher, Feat: feat, Cfg: cfg, Session: session, Seed: seed})
+	return r.stats, r.err
+}
+
+// timedSetup runs (or recalls) one key-setup measurement.
+func timedSetup(cipher string, feat isa.Feature, cfg ooo.Config, seed int64) (*ooo.Stats, error) {
+	r := getCell(Cell{Kind: CellSetup, Cipher: cipher, Feat: feat, Cfg: cfg, Seed: seed})
+	return r.stats, r.err
+}
+
+// timedDecrypt runs (or recalls) one decryption session measurement.
+func timedDecrypt(cipher string, feat isa.Feature, cfg ooo.Config, session int, seed int64) (*ooo.Stats, error) {
+	r := getCell(Cell{Kind: CellDecrypt, Cipher: cipher, Feat: feat, Cfg: cfg, Session: session, Seed: seed})
+	return r.stats, r.err
+}
+
+// counted runs (or recalls) one committed-instruction count.
+func counted(cipher string, feat isa.Feature, session int, seed int64) (uint64, error) {
+	r := getCell(Cell{Kind: CellCount, Cipher: cipher, Feat: feat, Session: session, Seed: seed})
+	return r.n, r.err
+}
+
+// mixFor runs (or recalls) one instruction-class-mix measurement.
+func mixFor(cipher string, feat isa.Feature, session int, seed int64) (opMix, error) {
+	r := getCell(Cell{Kind: CellMix, Cipher: cipher, Feat: feat, Session: session, Seed: seed})
+	return r.mix, r.err
+}
+
+// valuePredFor runs (or recalls) one value-predictability measurement.
+func valuePredFor(cipher string, feat isa.Feature, session int, seed int64) (vpRow, error) {
+	r := getCell(Cell{Kind: CellValuePred, Cipher: cipher, Feat: feat, Session: session, Seed: seed})
+	return r.vp, r.err
+}

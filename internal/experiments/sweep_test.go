@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"testing"
+
+	"cryptoarch/internal/isa"
+	"cryptoarch/internal/ooo"
+)
+
+// TestTimedCacheKeyIncludesSeed guards against a cache-key regression:
+// measurements at different workload seeds must occupy different cache
+// slots, while repeated requests at one seed must share a single run.
+func TestTimedCacheKeyIncludesSeed(t *testing.T) {
+	a1, err := timed("blowfish", isa.FeatRot, ooo.FourWide, 1024, 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := timed("blowfish", isa.FeatRot, ooo.FourWide, 1024, 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Error("same cell requested twice returned distinct Stats: cache miss on identical key")
+	}
+	b, err := timed("blowfish", isa.FeatRot, ooo.FourWide, 1024, 54321)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 == b {
+		t.Error("different seeds returned the same cached Stats: seed missing from the cache key")
+	}
+}
+
+// TestSweepDedup checks that a grid with repeated cells executes each
+// measurement once: every duplicate must resolve to the same result slot.
+func TestSweepDedup(t *testing.T) {
+	c := Cell{Kind: CellKernel, Cipher: "rc4", Feat: isa.FeatRot, Cfg: ooo.FourWide, Session: 1024, Seed: DefaultSeed}
+	Sweep([]Cell{c, c, c})
+	r1 := getCell(c)
+	r2 := getCell(c)
+	if r1 != r2 || r1.err != nil {
+		t.Fatalf("duplicate cells not coalesced: %p vs %p (err %v)", r1, r2, r1.err)
+	}
+}
+
+// TestSerialParallelEquivalence regenerates every report of the suite
+// twice — once with a single worker, once with four (forced, so the test
+// exercises real concurrency even on single-CPU machines) — and asserts
+// the rendered text is byte-identical. The parallel pass prefetches the
+// declared grid with Sweep first, exactly as cmd/asplos2000 -parallel
+// does, so this also pins that assembly order, not execution order,
+// determines report content.
+func TestSerialParallelEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates the full experiment suite twice")
+	}
+	render := func() map[string]string {
+		out := map[string]string{}
+		for _, g := range All() {
+			r, err := g.Run()
+			if err != nil {
+				t.Fatalf("%s: %v", g.Name, err)
+			}
+			out[g.Name] = r.Text()
+		}
+		return out
+	}
+	defer ResetCache()
+	defer SetParallelism(SetParallelism(1)) // evaluated now: restores the entry value
+
+	ResetCache()
+	SetParallelism(1)
+	serial := render()
+
+	ResetCache()
+	SetParallelism(4)
+	Sweep(AllCells())
+	parallel := render()
+
+	for _, g := range All() {
+		if serial[g.Name] != parallel[g.Name] {
+			t.Errorf("%s: serial and parallel renderings differ\n--- serial ---\n%s\n--- parallel ---\n%s",
+				g.Name, serial[g.Name], parallel[g.Name])
+		}
+	}
+}

@@ -2,11 +2,116 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 
 	"cryptoarch/internal/emu"
 	"cryptoarch/internal/harness"
 	"cryptoarch/internal/isa"
 )
+
+// vpRow is the value-predictability summary of one cipher kernel.
+type vpRow struct {
+	best, mean float64
+	edges      int
+}
+
+// measureValuePred applies an infinite last-value predictor to every
+// instruction of one cipher kernel and summarizes accuracy over the
+// diffusion-path instruction classes.
+func measureValuePred(cipher string, feat isa.Feature, session int, seed int64) (vpRow, error) {
+	diffusion := map[isa.Class]bool{
+		isa.ClassLogic: true, isa.ClassRotate: true, isa.ClassMult: true,
+		isa.ClassSubst: true, isa.ClassPerm: true,
+	}
+	const minExec = 64
+	w, err := harness.NewWorkload(cipher, session, seed)
+	if err != nil {
+		return vpRow{}, err
+	}
+	m, err := harness.Prepare(w, feat)
+	if err != nil {
+		return vpRow{}, err
+	}
+	type stat struct {
+		last           uint64
+		first          uint64
+		seen, varied   bool
+		execs, correct uint64
+	}
+	stats := map[int]*stat{}
+	// Compares and conditional moves produce 1-bit carry/select
+	// helpers (e.g. the software MULMOD's correction bit), not
+	// diffusion values; a biased carry is "predictable" without
+	// breaking any ciphertext dependence.
+	helper := map[isa.Op]bool{
+		isa.OpCMPEQ: true, isa.OpCMPULT: true, isa.OpCMPULE: true,
+		isa.OpCMPLT: true, isa.OpCMPLE: true,
+		isa.OpCMOVEQ: true, isa.OpCMOVNE: true,
+	}
+	m.Run(func(rec *emu.Rec) {
+		if !diffusion[rec.Inst.Class] || rec.Inst.Dest() == isa.RZ || helper[rec.Inst.Op] {
+			return
+		}
+		s := stats[rec.Idx]
+		if s == nil {
+			s = &stat{}
+			stats[rec.Idx] = s
+		}
+		if s.seen {
+			s.execs++
+			if rec.Val == s.last {
+				s.correct++
+			}
+			if rec.Val != s.first {
+				s.varied = true
+			}
+		} else {
+			s.first = rec.Val
+		}
+		s.seen = true
+		s.last = rec.Val
+	})
+	// Accumulate in sorted instruction-index order: float summation is
+	// not associative, so map-iteration order would make the mean differ
+	// in the last bits between otherwise identical runs.
+	idxs := make([]int, 0, len(stats))
+	for i := range stats {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	var row vpRow
+	var sum float64
+	for _, i := range idxs {
+		s := stats[i]
+		// Constant-valued instructions (key-derived loop invariants)
+		// carry no ciphertext dependence: predicting them breaks
+		// nothing, so they are excluded, as is any edge executed too
+		// rarely to measure.
+		if s.execs < minExec || !s.varied {
+			continue
+		}
+		acc := float64(s.correct) / float64(s.execs)
+		if acc > row.best {
+			row.best = acc
+		}
+		sum += acc
+		row.edges++
+	}
+	if row.edges > 0 {
+		row.mean = sum / float64(row.edges)
+	}
+	return row, nil
+}
+
+// ValuePredCells declares the Section 4.3 grid: one predictability
+// measurement per cipher.
+func ValuePredCells() []Cell {
+	var cells []Cell
+	for _, name := range Ciphers {
+		cells = append(cells, Cell{Kind: CellValuePred, Cipher: name, Feat: isa.FeatRot, Session: SessionBytes, Seed: DefaultSeed})
+	}
+	return cells
+}
 
 // ValuePred reproduces the Section 4.3 value-prediction study: an
 // infinite last-value predictor applied to every instruction of each
@@ -24,84 +129,16 @@ func ValuePred() (*Report, error) {
 			"Cipher", "Best edge accuracy", "Mean accuracy", "Edges measured",
 		},
 	}
-	diffusion := map[isa.Class]bool{
-		isa.ClassLogic: true, isa.ClassRotate: true, isa.ClassMult: true,
-		isa.ClassSubst: true, isa.ClassPerm: true,
-	}
-	const minExec = 64
 	for _, name := range Ciphers {
-		w, err := harness.NewWorkload(name, SessionBytes, 12345)
+		row, err := valuePredFor(name, isa.FeatRot, SessionBytes, DefaultSeed)
 		if err != nil {
 			return nil, err
-		}
-		m, err := harness.Prepare(w, isa.FeatRot)
-		if err != nil {
-			return nil, err
-		}
-		type stat struct {
-			last           uint64
-			first          uint64
-			seen, varied   bool
-			execs, correct uint64
-		}
-		stats := map[int]*stat{}
-		// Compares and conditional moves produce 1-bit carry/select
-		// helpers (e.g. the software MULMOD's correction bit), not
-		// diffusion values; a biased carry is "predictable" without
-		// breaking any ciphertext dependence.
-		helper := map[isa.Op]bool{
-			isa.OpCMPEQ: true, isa.OpCMPULT: true, isa.OpCMPULE: true,
-			isa.OpCMPLT: true, isa.OpCMPLE: true,
-			isa.OpCMOVEQ: true, isa.OpCMOVNE: true,
-		}
-		m.Run(func(rec *emu.Rec) {
-			if !diffusion[rec.Inst.Class] || rec.Inst.Dest() == isa.RZ || helper[rec.Inst.Op] {
-				return
-			}
-			s := stats[rec.Idx]
-			if s == nil {
-				s = &stat{}
-				stats[rec.Idx] = s
-			}
-			if s.seen {
-				s.execs++
-				if rec.Val == s.last {
-					s.correct++
-				}
-				if rec.Val != s.first {
-					s.varied = true
-				}
-			} else {
-				s.first = rec.Val
-			}
-			s.seen = true
-			s.last = rec.Val
-		})
-		best, sum, edges := 0.0, 0.0, 0
-		for _, s := range stats {
-			// Constant-valued instructions (key-derived loop invariants)
-			// carry no ciphertext dependence: predicting them breaks
-			// nothing, so they are excluded, as is any edge executed too
-			// rarely to measure.
-			if s.execs < minExec || !s.varied {
-				continue
-			}
-			acc := float64(s.correct) / float64(s.execs)
-			if acc > best {
-				best = acc
-			}
-			sum += acc
-			edges++
-		}
-		mean := 0.0
-		if edges > 0 {
-			mean = sum / float64(edges)
 		}
 		r.Rows = append(r.Rows, []string{
 			name,
-			fmt.Sprintf("%.1f%%", 100*best),
-			fmt.Sprintf("%.2f%%", 100*mean),
-			fmt.Sprint(edges),
+			fmt.Sprintf("%.1f%%", 100*row.best),
+			fmt.Sprintf("%.2f%%", 100*row.mean),
+			fmt.Sprint(row.edges),
 		})
 	}
 	return r, nil

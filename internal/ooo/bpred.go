@@ -9,7 +9,12 @@ import "cryptoarch/internal/isa"
 // that these kernels predict extremely well.
 type bpred struct {
 	table []uint8 // 2-bit counters
-	ras   []int
+
+	// Return-address stack as a fixed ring (drop-oldest on overflow), so
+	// pushes never allocate.
+	ras     [rasDepth]int
+	rasBase int // index of the oldest live entry
+	rasLen  int
 }
 
 const (
@@ -54,17 +59,18 @@ func (b *bpred) predict(pc int, in *isa.Inst, taken bool, target int) (correct b
 }
 
 func (b *bpred) push(v int) {
-	if len(b.ras) == rasDepth {
-		b.ras = b.ras[1:]
+	if b.rasLen == rasDepth {
+		b.rasBase = (b.rasBase + 1) % rasDepth // drop the oldest
+		b.rasLen--
 	}
-	b.ras = append(b.ras, v)
+	b.ras[(b.rasBase+b.rasLen)%rasDepth] = v
+	b.rasLen++
 }
 
 func (b *bpred) pop() int {
-	if len(b.ras) == 0 {
+	if b.rasLen == 0 {
 		return -1
 	}
-	v := b.ras[len(b.ras)-1]
-	b.ras = b.ras[:len(b.ras)-1]
-	return v
+	b.rasLen--
+	return b.ras[(b.rasBase+b.rasLen)%rasDepth]
 }

@@ -1,8 +1,8 @@
 package ooo
 
 import (
-	"container/heap"
 	"fmt"
+	"math/bits"
 
 	"cryptoarch/internal/core"
 	"cryptoarch/internal/emu"
@@ -103,21 +103,6 @@ const (
 	memMissL2
 )
 
-// seqHeap is a min-heap of entry seqs (oldest-first issue order).
-type seqHeap []uint64
-
-func (h seqHeap) Len() int            { return len(h) }
-func (h seqHeap) Less(i, j int) bool  { return h[i] < h[j] }
-func (h seqHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *seqHeap) Push(x interface{}) { *h = append(*h, x.(uint64)) }
-func (h *seqHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
-
 // Resource kinds for the per-kind ready queues.
 const (
 	kindNone = iota // no functional unit (NOP, HALT, SBOXSYNC)
@@ -177,34 +162,50 @@ type Engine struct {
 
 	regProducer [isa.NumRegs]uint64 // seq+1 of latest producer; 0 = none
 
-	// Store ordering.
-	storeCount     uint64 // stores dispatched
-	storeIssued    map[uint64]bool
-	storeKnown     uint64  // contiguous prefix of stores with known address
-	memWaiters     seqHeap // loads blocked on storeKnown, keyed externally
-	memWaiterNeeds map[uint64]uint64
+	// Store ordering. Issued-but-not-yet-contiguous store ordinals live in
+	// a ring bitset indexed ordinal&(len-1); in-flight ordinals span
+	// (storeKnown, storeCount], bounded by the window, so the ring grows
+	// like the ROB and is then reused forever.
+	storeCount  uint64 // stores dispatched
+	storeIssued []bool // ring bitset of issued store ordinals
+	storeKnown  uint64 // contiguous prefix of stores with known address
+
+	// Loads blocked on storeKnown. Dispatch pushes in seq order and their
+	// required store counts are monotone in seq, so a FIFO (head index into
+	// a reused slice) replaces the old heap+needs-map pair; each waiter's
+	// requirement is its entry's needStores.
+	memWaiters  []uint64
+	memWaitHead int
 
 	// Last store per byte address (perfect-alias oracle / forwarding).
-	lastStoreByte map[uint64]uint64 // addr -> seq+1
+	lastStoreByte aliasMap
 
-	// Event wheel: completions per cycle.
-	completions map[uint64][]uint64
+	// Event wheel: completions per cycle, ring-indexed with overflow.
+	completions calendar
 
 	// Ready instructions are queued per resource kind (oldest-first), so
 	// issue does O(issued) work per cycle even with an unbounded window:
-	// a full resource pool blocks exactly its own queue.
-	readyQ      [fuKinds]seqHeap
-	futureReady map[uint64][]uint64 // readyCycle -> seqs
+	// a full resource pool blocks exactly its own queue. readyMask has bit
+	// k set iff readyQ[k] is non-empty, so issue scans only live queues.
+	readyQ    [fuKinds]seqPQ
+	readyMask uint32
 
-	// Fetch state.
-	fetchQ               []uint64 // seqs in fetch/decode queue (dispatch order)
+	// Entries becoming ready next cycle (makeReady proves readyCycle is
+	// never beyond cycle+1), double-buffered by cycle parity: bucket c&1
+	// holds the seqs that promote at cycle c.
+	futureReady [2][]uint64
+
+	// Fetch state. The fetch/decode queue is a power-of-two ring indexed
+	// by monotone head/tail counters.
+	fetchQ               []uint64 // ring of seqs (dispatch order)
+	fqHead, fqTail       uint64
 	fetchStallTil        uint64
 	fetchStallBranch     bool // fetchStallTil is branch recovery, not I-cache
 	fetchBlockedOnBranch bool
 	blockedBranchSeq     uint64
 	lastFetchLine        uint64
 	streamDone           bool
-	pending              *emu.Rec // peeked record not yet fetched
+	pending              emu.Rec // peeked record not yet fetched
 	pendingValid         bool
 
 	sboxCaches []sboxCache
@@ -234,11 +235,8 @@ func NewEngine(cfg Config, src Stream) *Engine {
 		src:             src,
 		mem:             newMemSystem(),
 		bp:              newBpred(),
-		storeIssued:     make(map[uint64]bool),
-		memWaiterNeeds:  make(map[uint64]uint64),
-		lastStoreByte:   make(map[uint64]uint64),
-		completions:     make(map[uint64][]uint64),
-		futureReady:     make(map[uint64][]uint64),
+		storeIssued:     make([]bool, 256),
+		lastStoreByte:   newAliasMap(),
 		sboxCaches:      make([]sboxCache, cfg.NumSboxCaches),
 		sboxPortUsed:    make([]int, cfg.NumSboxCaches),
 		windowFullCycle: ^uint64(0),
@@ -248,6 +246,7 @@ func NewEngine(cfg Config, src Stream) *Engine {
 	// worst case and let the infinite-window case grow on demand.
 	capHint := cfg.WindowSize + e.fetchQueueCap() + 64
 	e.rob = make([]entry, nextPow2(capHint))
+	e.fetchQ = make([]uint64, nextPow2(e.fetchQueueCap()))
 	return e
 }
 
@@ -285,9 +284,12 @@ func nextPow2(n int) int {
 
 func (e *Engine) at(seq uint64) *entry { return &e.rob[seq&uint64(len(e.rob)-1)] }
 
+// fqLen is the fetch/decode queue occupancy.
+func (e *Engine) fqLen() int { return int(e.fqTail - e.fqHead) }
+
 // windowOcc is the number of dispatched-but-uncommitted instructions.
 func (e *Engine) windowOcc() int {
-	return int(e.tailSeq-e.headSeq) - len(e.fetchQ)
+	return int(e.tailSeq-e.headSeq) - e.fqLen()
 }
 
 // ensureRing guarantees space for one more in-flight entry.
@@ -302,6 +304,16 @@ func (e *Engine) growROB() {
 	e.rob = make([]entry, len(old)*2)
 	for s := e.headSeq; s < e.tailSeq; s++ {
 		e.rob[s&uint64(len(e.rob)-1)] = old[s&uint64(len(old)-1)]
+	}
+}
+
+// growStoreRing doubles the issued-store-ordinal ring, re-placing the
+// in-flight ordinals under the new mask.
+func (e *Engine) growStoreRing() {
+	old := e.storeIssued
+	e.storeIssued = make([]bool, len(old)*2)
+	for o := e.storeKnown + 1; o <= e.storeCount; o++ {
+		e.storeIssued[o&uint64(len(e.storeIssued)-1)] = old[o&uint64(len(old)-1)]
 	}
 }
 
@@ -338,7 +350,7 @@ func (e *Engine) Run() (*Stats, error) {
 	var idle uint64
 	for {
 		progress := e.step()
-		if e.streamDone && !e.pendingValid && len(e.fetchQ) == 0 && e.headSeq == e.tailSeq {
+		if e.streamDone && !e.pendingValid && e.fqLen() == 0 && e.headSeq == e.tailSeq {
 			break
 		}
 		if progress {
@@ -387,41 +399,46 @@ func (e *Engine) step() bool {
 // writeback processes completions scheduled for this cycle: wakes register
 // consumers, advances store ordering, releases branch stalls.
 func (e *Engine) writeback() bool {
-	seqs, ok := e.completions[e.cycle]
-	if !ok {
-		return false
+	return e.completions.drain(e.cycle, e.complete)
+}
+
+// complete finishes one instruction: wakes register consumers, releases a
+// blocked branch. The consumers slice is truncated, not dropped, so the
+// ROB ring reuses its backing array on the entry's next life.
+func (e *Engine) complete(s uint64) {
+	en := e.at(s)
+	en.state = stDone
+	if e.tracer != nil {
+		e.tracer.Event(TraceWriteback, e.cycle, s, en.idx, en.inst)
 	}
-	delete(e.completions, e.cycle)
-	for _, s := range seqs {
-		en := e.at(s)
-		en.state = stDone
-		if e.tracer != nil {
-			e.tracer.Event(TraceWriteback, e.cycle, s, en.idx, en.inst)
+	for _, c := range en.consumers {
+		ce := e.at(c)
+		if ce.seq != c || ce.state != stWaiting {
+			continue
 		}
-		for _, c := range en.consumers {
-			ce := e.at(c)
-			if ce.seq != c || ce.state != stWaiting {
-				continue
-			}
-			ce.pendingDeps--
-			if ce.pendingDeps == 0 && !ce.memBlocked {
-				e.makeReady(ce)
-			}
-		}
-		en.consumers = nil
-		if en.mispred && e.fetchBlockedOnBranch && e.blockedBranchSeq == s {
-			e.fetchBlockedOnBranch = false
-			resume := e.cycle + 1
-			if min := en.fetchCycle + uint64(e.cfg.BranchPenalty); min > resume {
-				resume = min
-			}
-			if resume > e.fetchStallTil {
-				e.fetchStallTil = resume
-				e.fetchStallBranch = true
-			}
+		ce.pendingDeps--
+		if ce.pendingDeps == 0 && !ce.memBlocked {
+			e.makeReady(ce)
 		}
 	}
-	return true
+	en.consumers = en.consumers[:0]
+	if en.mispred && e.fetchBlockedOnBranch && e.blockedBranchSeq == s {
+		e.fetchBlockedOnBranch = false
+		resume := e.cycle + 1
+		if min := en.fetchCycle + uint64(e.cfg.BranchPenalty); min > resume {
+			resume = min
+		}
+		if resume > e.fetchStallTil {
+			e.fetchStallTil = resume
+			e.fetchStallBranch = true
+		}
+	}
+}
+
+// queueReady inserts a ready entry into its per-kind issue queue.
+func (e *Engine) queueReady(k int, seq uint64) {
+	e.readyQ[k].push(seq)
+	e.readyMask |= 1 << uint(k)
 }
 
 func (e *Engine) makeReady(en *entry) {
@@ -432,27 +449,29 @@ func (e *Engine) makeReady(en *entry) {
 	}
 	en.readyCycle = rc
 	if rc <= e.cycle {
-		heap.Push(&e.readyQ[kindOf(en)], en.seq)
+		e.queueReady(kindOf(en), en.seq)
 	} else {
-		e.futureReady[rc] = append(e.futureReady[rc], en.seq)
+		// dispatchCycle never exceeds the current cycle, so rc is at most
+		// cycle+1: the parity bucket rc&1 promotes exactly at cycle rc.
+		e.futureReady[rc&1] = append(e.futureReady[rc&1], en.seq)
 	}
 }
 
 // promoteReady moves entries whose ready cycle has arrived into the
 // per-kind issue queues.
 func (e *Engine) promoteReady() bool {
-	seqs, ok := e.futureReady[e.cycle]
-	if !ok {
+	b := &e.futureReady[e.cycle&1]
+	if len(*b) == 0 {
 		return false
 	}
-	delete(e.futureReady, e.cycle)
-	for _, s := range seqs {
+	for _, s := range *b {
 		en := e.at(s)
 		if en.seq == s && en.state == stReady {
-			heap.Push(&e.readyQ[kindOf(en)], s)
+			e.queueReady(kindOf(en), s)
 		}
 	}
-	return len(seqs) > 0
+	*b = (*b)[:0]
+	return true
 }
 
 // commit retires completed instructions in order.
@@ -509,13 +528,13 @@ func (e *Engine) headBlame() StallCause {
 				return StallBranch
 			}
 			return StallICache
-		case e.streamDone && !e.pendingValid && len(e.fetchQ) == 0:
+		case e.streamDone && !e.pendingValid && e.fqLen() == 0:
 			return StallDrain
 		default:
 			return StallIFetch // fetched but not yet decoded/dispatched
 		}
 	}
-	if len(e.fetchQ) > 0 && e.fetchQ[0] == e.headSeq {
+	if e.fqLen() > 0 && e.fetchQ[e.fqHead&uint64(len(e.fetchQ)-1)] == e.headSeq {
 		return StallIFetch // oldest in flight is fetched, not yet dispatched
 	}
 	en := e.at(e.headSeq)
@@ -721,8 +740,9 @@ func (e *Engine) issue() bool {
 		}
 		best := -1
 		var bestSeq uint64
-		for k := 0; k < fuKinds; k++ {
-			if len(e.readyQ[k]) == 0 || !e.kindHasRoom(k) {
+		for m := e.readyMask; m != 0; m &= m - 1 {
+			k := bits.TrailingZeros32(m)
+			if !e.kindHasRoom(k) {
 				continue
 			}
 			if best == -1 || e.readyQ[k][0] < bestSeq {
@@ -732,20 +752,23 @@ func (e *Engine) issue() bool {
 		if best == -1 {
 			break
 		}
-		heap.Pop(&e.readyQ[best])
+		e.readyQ[best].pop()
+		if len(e.readyQ[best]) == 0 {
+			e.readyMask &^= 1 << uint(best)
+		}
 		en := e.at(bestSeq)
 		e.reserve(best)
 		en.state = stIssued
 		en.issueDelayed = e.cycle > en.readyCycle
 		lat := e.latency(en)
 		en.doneCycle = e.cycle + lat
-		e.completions[en.doneCycle] = append(e.completions[en.doneCycle], bestSeq)
+		e.completions.schedule(e.cycle, en.doneCycle, bestSeq)
 		issued++
 		if e.tracer != nil {
 			e.tracer.Event(TraceIssue, e.cycle, bestSeq, en.idx, en.inst)
 		}
 		if en.isStore {
-			e.storeIssued[en.storeOrdinal] = true
+			e.storeIssued[en.storeOrdinal&uint64(len(e.storeIssued)-1)] = true
 			e.advanceStoreKnown()
 		}
 		if en.inst.Op == isa.OpSBOXSYNC {
@@ -761,20 +784,20 @@ func (e *Engine) issue() bool {
 // advanceStoreKnown extends the contiguous prefix of stores whose
 // addresses are known and wakes loads blocked on it.
 func (e *Engine) advanceStoreKnown() {
-	for e.storeIssued[e.storeKnown+1] {
-		delete(e.storeIssued, e.storeKnown+1)
+	mask := uint64(len(e.storeIssued) - 1)
+	for e.storeIssued[(e.storeKnown+1)&mask] {
+		e.storeIssued[(e.storeKnown+1)&mask] = false
 		e.storeKnown++
 	}
-	for e.memWaiters.Len() > 0 {
-		s := e.memWaiters[0]
-		need := e.memWaiterNeeds[s]
-		if need > e.storeKnown {
-			// The heap is seq-ordered, not need-ordered; scan fully.
+	for e.memWaitHead < len(e.memWaiters) {
+		s := e.memWaiters[e.memWaitHead]
+		en := e.at(s)
+		if en.seq == s && en.needStores > e.storeKnown {
+			// Waiters arrive in seq order with monotone requirements, so
+			// the first unsatisfied one blocks the rest.
 			break
 		}
-		heap.Pop(&e.memWaiters)
-		delete(e.memWaiterNeeds, s)
-		en := e.at(s)
+		e.memWaitHead++
 		if en.seq != s {
 			continue
 		}
@@ -783,13 +806,18 @@ func (e *Engine) advanceStoreKnown() {
 			e.makeReady(en)
 		}
 	}
+	if e.memWaitHead == len(e.memWaiters) {
+		e.memWaiters = e.memWaiters[:0]
+		e.memWaitHead = 0
+	}
 }
 
 // dispatch moves fetched instructions into the window.
 func (e *Engine) dispatch() bool {
 	width := e.cfg.IssueWidth
+	mask := uint64(len(e.fetchQ) - 1)
 	n := 0
-	for len(e.fetchQ) > 0 {
+	for e.fqHead != e.fqTail {
 		if !inf(width) && n >= width {
 			break
 		}
@@ -797,7 +825,7 @@ func (e *Engine) dispatch() bool {
 			e.windowFullCycle = e.cycle
 			break
 		}
-		s := e.fetchQ[0]
+		s := e.fetchQ[e.fqHead&mask]
 		en := e.at(s)
 		if en.fetchCycle >= e.cycle {
 			break // fetched this cycle; decodes next cycle
@@ -808,7 +836,7 @@ func (e *Engine) dispatch() bool {
 			}
 			e.memOps++
 		}
-		e.fetchQ = e.fetchQ[1:]
+		e.fqHead++
 		e.wireDependencies(en)
 		n++
 	}
@@ -859,8 +887,13 @@ func (e *Engine) wireDependencies(en *entry) {
 	if en.isStore {
 		e.storeCount++
 		en.storeOrdinal = e.storeCount
+		// Keep in-flight ordinals (storeKnown, storeCount] within the
+		// issued-ordinal ring.
+		if e.storeCount-e.storeKnown >= uint64(len(e.storeIssued)) {
+			e.growStoreRing()
+		}
 		for i := uint64(0); i < uint64(en.size); i++ {
-			e.lastStoreByte[en.addr+i] = en.seq + 1
+			e.lastStoreByte.set(en.addr+i, en.seq+1)
 		}
 	}
 	if en.isLoad {
@@ -870,7 +903,7 @@ func (e *Engine) wireDependencies(en *entry) {
 		// address publication and for its data value.
 		var dep uint64
 		for i := uint64(0); i < uint64(en.size); i++ {
-			if p := e.lastStoreByte[en.addr+i]; p > dep {
+			if p := e.lastStoreByte.get(en.addr + i); p > dep {
 				dep = p
 			}
 		}
@@ -892,8 +925,7 @@ func (e *Engine) wireDependencies(en *entry) {
 			en.needStores = e.storeCount
 			if en.needStores > e.storeKnown {
 				en.memBlocked = true
-				heap.Push(&e.memWaiters, en.seq)
-				e.memWaiterNeeds[en.seq] = en.needStores
+				e.memWaiters = append(e.memWaiters, en.seq)
 			}
 		}
 	}
@@ -913,21 +945,21 @@ func (e *Engine) fetch() bool {
 		return false
 	}
 	qCap := e.fetchQueueCap()
+	mask := uint64(len(e.fetchQ) - 1)
 	blocks := 0
 	inBlock := 0
 	fetched := 0
-	for len(e.fetchQ) < qCap {
+	for e.fqLen() < qCap {
 		if !e.pendingValid {
 			r, ok := e.src.Next()
 			if !ok {
 				e.streamDone = true
 				break
 			}
-			e.pending = &emu.Rec{}
-			*e.pending = *r
+			e.pending = *r
 			e.pendingValid = true
 		}
-		rec := e.pending
+		rec := &e.pending
 
 		// I-cache: charge a stall when crossing into a missing line.
 		line := (CodeBase + uint64(rec.Idx)*4) >> blockShift
@@ -945,6 +977,7 @@ func (e *Engine) fetch() bool {
 		seq := e.tailSeq
 		e.tailSeq++
 		en := e.at(seq)
+		cons := en.consumers[:0] // recycle the ring entry's backing array
 		*en = entry{
 			seq:        seq,
 			idx:        rec.Idx,
@@ -953,6 +986,7 @@ func (e *Engine) fetch() bool {
 			size:       rec.Size,
 			state:      stWaiting,
 			fetchCycle: e.cycle,
+			consumers:  cons,
 		}
 		p := isa.P(rec.Inst.Op)
 		en.isStore = p.Store
@@ -966,7 +1000,8 @@ func (e *Engine) fetch() bool {
 				en.sboxToDCache = true
 			}
 		}
-		e.fetchQ = append(e.fetchQ, seq)
+		e.fetchQ[e.fqTail&mask] = seq
+		e.fqTail++
 		e.pendingValid = false
 		fetched++
 		if e.tracer != nil {

@@ -1,0 +1,165 @@
+package ooo
+
+// Allocation-free scheduling structures for the engine hot loop. The
+// per-cycle and per-seq maps the engine used to carry (completion wheel,
+// future-ready sets, store ordering, byte-granular alias tracking) are
+// replaced here by ring-indexed calendar queues, a non-boxing binary
+// min-heap, and a page-table of last-store slabs. All of them reuse their
+// backing storage, so the steady-state simulation loop performs no heap
+// allocation (pinned by TestSteadyStateZeroAllocs).
+
+// seqPQ is a binary min-heap of entry seqs (oldest-first issue order). It
+// replaces container/heap to avoid boxing every uint64 push into an
+// interface value.
+type seqPQ []uint64
+
+func (q *seqPQ) push(v uint64) {
+	h := append(*q, v)
+	*q = h
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p] <= h[i] {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+}
+
+func (q *seqPQ) pop() uint64 {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	*q = h
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && h[r] < h[l] {
+			m = r
+		}
+		if h[i] <= h[m] {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	return top
+}
+
+// calSlots is the completion-wheel span. It covers every latency the
+// memory system produces short of a deeply queued bus (l1 + TLB + L2 +
+// memory is 164 cycles); longer completions spill to the sorted overflow
+// list, which stays empty in steady state.
+const calSlots = 256
+
+// calendar is a ring-indexed calendar queue: events for cycle c live in
+// slot c&(calSlots-1), valid because the engine drains every slot exactly
+// when its cycle arrives. Far-future events (beyond the wheel horizon) are
+// kept sorted by cycle in overflow; for any target cycle they were
+// necessarily scheduled before every slot-resident event of that cycle, so
+// draining overflow first preserves global insertion (issue) order.
+type calendar struct {
+	slots    [calSlots][]uint64
+	overflow []calEvent
+}
+
+type calEvent struct {
+	cycle, seq uint64
+}
+
+// schedule books seq to complete at cycle (now is the current cycle;
+// cycle > now always holds).
+func (c *calendar) schedule(now, cycle, seq uint64) {
+	if cycle-now < calSlots {
+		i := cycle & (calSlots - 1)
+		c.slots[i] = append(c.slots[i], seq)
+		return
+	}
+	j := len(c.overflow)
+	c.overflow = append(c.overflow, calEvent{cycle, seq})
+	for j > 0 && c.overflow[j-1].cycle > cycle {
+		c.overflow[j], c.overflow[j-1] = c.overflow[j-1], c.overflow[j]
+		j--
+	}
+}
+
+// drain invokes fn for every event booked at cycle, overflow first (see
+// the ordering argument above), and reports whether any event fired. The
+// slot's backing array is retained for reuse.
+func (c *calendar) drain(cycle uint64, fn func(seq uint64)) bool {
+	any := false
+	if len(c.overflow) > 0 && c.overflow[0].cycle == cycle {
+		n := 0
+		for n < len(c.overflow) && c.overflow[n].cycle == cycle {
+			fn(c.overflow[n].seq)
+			n++
+		}
+		copy(c.overflow, c.overflow[n:])
+		c.overflow = c.overflow[:len(c.overflow)-n]
+		any = true
+	}
+	slot := &c.slots[cycle&(calSlots-1)]
+	if len(*slot) > 0 {
+		for _, s := range *slot {
+			fn(s)
+		}
+		*slot = (*slot)[:0]
+		any = true
+	}
+	return any
+}
+
+// aliasPageShift sizes the last-store slabs (4KB of simulated bytes each).
+const aliasPageShift = 12
+
+type aliasSlab [1 << aliasPageShift]uint64
+
+// aliasMap tracks the youngest store (seq+1) per byte address — the
+// perfect-alias oracle and forwarding source. Simulated data addresses
+// cluster in a handful of pages (cipher context plus session buffers), so
+// a page table of dense slabs with a one-entry page cache makes both the
+// per-store set and the per-load get map-free on the hot path.
+type aliasMap struct {
+	pages    map[uint64]*aliasSlab
+	lastPage uint64
+	lastSlab *aliasSlab
+}
+
+func newAliasMap() aliasMap {
+	return aliasMap{pages: make(map[uint64]*aliasSlab), lastPage: ^uint64(0)}
+}
+
+// set records v as the youngest store covering addr.
+func (a *aliasMap) set(addr, v uint64) {
+	page := addr >> aliasPageShift
+	if page != a.lastPage {
+		s := a.pages[page]
+		if s == nil {
+			s = new(aliasSlab)
+			a.pages[page] = s
+		}
+		a.lastPage, a.lastSlab = page, s
+	}
+	a.lastSlab[addr&(1<<aliasPageShift-1)] = v
+}
+
+// get returns the youngest store covering addr (0 if none). It never
+// allocates a slab.
+func (a *aliasMap) get(addr uint64) uint64 {
+	page := addr >> aliasPageShift
+	if page != a.lastPage {
+		s := a.pages[page]
+		if s == nil {
+			return 0
+		}
+		a.lastPage, a.lastSlab = page, s
+	}
+	return a.lastSlab[addr&(1<<aliasPageShift-1)]
+}
