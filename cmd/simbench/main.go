@@ -1,8 +1,10 @@
 // Command simbench measures the simulator's own speed — simulated MIPS
-// per machine model, steady-state allocation rate, and the serial vs
-// parallel wall time of the full experiment sweep — and writes the result
-// as machine-readable JSON (BENCH_PR2.json by default) so performance
-// trajectories can be compared across commits.
+// per machine model, steady-state allocation rate, trace record/replay
+// cost, and the serial vs parallel wall time of the full experiment
+// sweep — and writes the result as machine-readable JSON (BENCH_PR3.json
+// by default) so performance trajectories can be compared across commits.
+// With -check it also compares the fresh measurement against a committed
+// baseline and fails on a large regression.
 package main
 
 import (
@@ -20,8 +22,18 @@ import (
 	"cryptoarch/internal/ooo"
 )
 
-// modelBench is one model's simulation-speed measurement: a fixed
-// blowfish 4KB CBC session (the bench_test.go workload) timed end to end.
+// benchWorkload is the fixed measurement target (the bench_test.go
+// workload): blowfish, rotate ISA, 4KB CBC session.
+const (
+	benchCipher  = "blowfish"
+	benchSession = 4096
+)
+
+// modelBench is one model's simulation-speed measurement. SecPerRun (and
+// the derived SimMIPS) time a warm-trace-cache run — the cost every model
+// after the first pays per cell — keeping the PR2 field names; the
+// one-time functional-recording cost is reported separately at the top
+// level as trace_record_seconds.
 type modelBench struct {
 	Model        string  `json:"model"`
 	Instructions uint64  `json:"simulated_instructions"`
@@ -36,6 +48,7 @@ type result struct {
 	GoVersion            string       `json:"go_version"`
 	GOMAXPROCS           int          `json:"gomaxprocs"`
 	Workload             string       `json:"workload"`
+	TraceRecordSeconds   float64      `json:"trace_record_seconds"`
 	Models               []modelBench `json:"models"`
 	SweepCells           int          `json:"sweep_cells"`
 	SweepSerialSeconds   float64      `json:"sweep_serial_seconds"`
@@ -43,15 +56,32 @@ type result struct {
 	SweepWorkers         int          `json:"sweep_workers"`
 }
 
+// benchRecord times the one-off functional recording of the bench
+// workload's trace (averaged over a few cold recordings).
+func benchRecord() (float64, error) {
+	const rounds = 5
+	var total time.Duration
+	for i := 0; i < rounds; i++ {
+		harness.ResetTraceCache()
+		if _, _, err := harness.StreamKernel(benchCipher, isa.FeatRot, benchSession, experiments.DefaultSeed); err != nil {
+			return 0, err
+		}
+		total += harness.ReadTraceCacheStats().RecordTime
+	}
+	harness.ResetTraceCache()
+	return total.Seconds() / rounds, nil
+}
+
 func benchModel(cfg ooo.Config) (modelBench, error) {
-	st, err := harness.TimeKernel("blowfish", isa.FeatRot, cfg, 4096, experiments.DefaultSeed)
+	// Warm the trace cache so the loop below measures pure replay+engine.
+	st, err := harness.TimeKernel(benchCipher, isa.FeatRot, cfg, benchSession, experiments.DefaultSeed)
 	if err != nil {
 		return modelBench{}, err
 	}
 	r := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := harness.TimeKernel("blowfish", isa.FeatRot, cfg, 4096, experiments.DefaultSeed); err != nil {
+			if _, err := harness.TimeKernel(benchCipher, isa.FeatRot, cfg, benchSession, experiments.DefaultSeed); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -69,7 +99,7 @@ func benchModel(cfg ooo.Config) (modelBench, error) {
 }
 
 func timedSweep(workers int) float64 {
-	experiments.ResetCache()
+	experiments.ResetCache() // drops cell results and recorded traces
 	prev := experiments.SetParallelism(workers)
 	defer experiments.SetParallelism(prev)
 	runtime.GC() // level the heap between passes so the second isn't charged the first's garbage
@@ -78,9 +108,44 @@ func timedSweep(workers int) float64 {
 	return time.Since(start).Seconds()
 }
 
+// checkBaseline compares fresh finite-model sim-MIPS against a committed
+// baseline file and reports every model that dropped below half.
+func checkBaseline(fresh []modelBench, path string) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base result
+	if err := json.Unmarshal(b, &base); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	baseMIPS := map[string]float64{}
+	for _, m := range base.Models {
+		baseMIPS[m.Model] = m.SimMIPS
+	}
+	var bad []string
+	for _, m := range fresh {
+		if m.Model == "DF" {
+			continue // infinite-window model: not part of the smoke gate
+		}
+		want, ok := baseMIPS[m.Model]
+		if !ok || want <= 0 {
+			continue
+		}
+		if m.SimMIPS < 0.5*want {
+			bad = append(bad, fmt.Sprintf("%s: %.2f sim-MIPS < 50%% of baseline %.2f", m.Model, m.SimMIPS, want))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("bench regression vs %s:\n  %v", path, bad)
+	}
+	return nil
+}
+
 func main() {
-	out := flag.String("o", "BENCH_PR2.json", "output file (\"-\" for stdout)")
+	out := flag.String("o", "BENCH_PR3.json", "output file (\"-\" for stdout)")
 	skipSweep := flag.Bool("nosweep", false, "skip the full-suite sweep timing (much faster)")
+	check := flag.String("check", "", "baseline JSON to compare against; exit non-zero if finite-model sim-MIPS drops below 50%")
 	flag.Parse()
 
 	res := result{
@@ -88,13 +153,20 @@ func main() {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Workload:   "blowfish/rot/4096B CBC session, seed 12345",
 	}
+	rec, err := benchRecord()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		os.Exit(1)
+	}
+	res.TraceRecordSeconds = rec
+	fmt.Fprintf(os.Stderr, "trace record %8.1f ms (one-time per cell)\n", 1e3*rec)
 	for _, cfg := range []ooo.Config{ooo.FourWide, ooo.FourWidePlus, ooo.EightWidePlus, ooo.Dataflow} {
 		mb, err := benchModel(cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "simbench:", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "%-4s %8.1f ms/run  %6.2f sim-MIPS  %5d allocs/run\n",
+		fmt.Fprintf(os.Stderr, "%-4s %8.1f ms/run (replay)  %6.2f sim-MIPS  %5d allocs/run\n",
 			mb.Model, 1e3*mb.SecPerRun, mb.SimMIPS, mb.AllocsPerRun)
 		res.Models = append(res.Models, mb)
 	}
@@ -106,6 +178,13 @@ func main() {
 		experiments.ResetCache()
 		fmt.Fprintf(os.Stderr, "sweep %d cells: serial %.1fs, %d workers %.1fs\n",
 			res.SweepCells, res.SweepSerialSeconds, res.SweepWorkers, res.SweepParallelSeconds)
+	}
+	if *check != "" {
+		if err := checkBaseline(res.Models, *check); err != nil {
+			fmt.Fprintln(os.Stderr, "simbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "baseline check passed:", *check)
 	}
 	b, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {

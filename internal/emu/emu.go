@@ -38,6 +38,7 @@ type Machine struct {
 	// MaxInsts guards against runaway programs (0 = default guard).
 	MaxInsts uint64
 
+	code   []isa.Inst // Prog.Code, hoisted off the Step hot path
 	halted bool
 	rec    Rec // scratch record, reused across Step calls
 }
@@ -48,7 +49,7 @@ const DefaultMaxInsts = 2_000_000_000
 // New creates a machine ready to run prog. The rodata segment is copied to
 // rodataAddr and RGP is pointed at it.
 func New(prog *isa.Program, mem *simmem.Mem, rodataAddr uint64) *Machine {
-	m := &Machine{Mem: mem, Prog: prog, MaxInsts: DefaultMaxInsts}
+	m := &Machine{Mem: mem, Prog: prog, MaxInsts: DefaultMaxInsts, code: prog.Code}
 	if len(prog.Rodata) > 0 {
 		mem.WriteBytes(rodataAddr, prog.Rodata)
 	}
@@ -87,17 +88,17 @@ func (m *Machine) Step() *Rec {
 	if m.halted {
 		return nil
 	}
-	if m.PC < 0 || m.PC >= len(m.Prog.Code) {
+	code := m.code
+	if uint(m.PC) >= uint(len(code)) {
 		panic(fmt.Sprintf("emu: program %s: PC %d out of range", m.Prog.Name, m.PC))
 	}
 	if m.Icount >= m.MaxInsts {
 		panic(fmt.Sprintf("emu: program %s exceeded %d instructions", m.Prog.Name, m.MaxInsts))
 	}
-	i := &m.Prog.Code[m.PC]
+	i := &code[m.PC]
 	r := &m.rec
 	*r = Rec{Idx: m.PC, Inst: i}
 	next := m.PC + 1
-	zext32 := func(v uint64) uint64 { return v & 0xffffffff }
 
 	switch i.Op {
 	case isa.OpLDQ, isa.OpLDL, isa.OpLDW, isa.OpLDB:
@@ -286,6 +287,8 @@ func (m *Machine) Run(fn func(*Rec)) uint64 {
 		}
 	}
 }
+
+func zext32(v uint64) uint64 { return v & 0xffffffff }
 
 func b2u(b bool) uint64 {
 	if b {

@@ -1,0 +1,142 @@
+package emu
+
+import (
+	"fmt"
+
+	"cryptoarch/internal/isa"
+)
+
+// This file is the record/replay layer between the functional emulator and
+// the timing model. The paper's methodology is replay-heavy: one dynamic
+// instruction stream (per cipher x variant x session x seed) is timed on up
+// to five machine models, so the stream is worth recording once, in a
+// compact pointer-free encoding, and replaying many times without paying
+// for functional execution again.
+
+// TraceRec is one packed retired instruction: 16 bytes, no pointers. Only
+// the dynamic facts the timing model consumes are stored — the effective
+// address of memory operations and the outcome of branches. Everything
+// else about the instruction is static and recovered from the program by
+// index at replay time.
+type TraceRec struct {
+	Addr uint64 // effective address (memory operations; else 0)
+	Idx  uint32 // static instruction index (PC)
+	Br   uint32 // branches: target<<1 | taken; else 0
+}
+
+// TraceRecBytes is the packed size of one record.
+const TraceRecBytes = 16
+
+// Trace is a recorded committed-path instruction stream: the program it
+// was recorded from plus one packed record per retired instruction. A
+// Trace is immutable after Record returns and safe for any number of
+// concurrent ReplayStreams.
+type Trace struct {
+	Prog *isa.Program
+	Recs []TraceRec
+}
+
+// Bytes is the retained size of the packed records.
+func (t *Trace) Bytes() int { return TraceRecBytes * len(t.Recs) }
+
+// pack encodes the dynamic half of one retired-instruction record.
+func pack(r *Rec) TraceRec {
+	pr := TraceRec{Addr: r.Addr, Idx: uint32(r.Idx)}
+	if r.Taken || r.Targ != 0 {
+		if uint(r.Targ) > 1<<30 {
+			panic(fmt.Sprintf("emu: branch target %d not packable", r.Targ))
+		}
+		pr.Br = uint32(r.Targ) << 1
+		if r.Taken {
+			pr.Br |= 1
+		}
+	}
+	return pr
+}
+
+// Record steps m until HALT or until max instructions have been recorded
+// (max <= 0 means unbounded), appending packed records to buf (whose
+// capacity is reused). It returns the trace and whether the program ran to
+// completion. On false the trace is a prefix and m is positioned exactly
+// after the last recorded instruction, so Resume can continue it live.
+func Record(m *Machine, max int, buf []TraceRec) (*Trace, bool) {
+	for {
+		if max > 0 && len(buf) >= max {
+			return &Trace{Prog: m.Prog, Recs: buf}, false
+		}
+		r := m.Step()
+		if r == nil {
+			return &Trace{Prog: m.Prog, Recs: buf}, true
+		}
+		buf = append(buf, pack(r))
+	}
+}
+
+// ReplayStream decodes a Trace back into the retired-instruction records
+// the timing model consumes. It satisfies ooo.Stream. The returned record
+// is a reused scratch (the same contract as Machine.Step); its Val field
+// is always zero — value-prediction experiments must run the live
+// emulator.
+type ReplayStream struct {
+	prog *isa.Program
+	recs []TraceRec
+	pos  int
+	rec  Rec
+}
+
+// Stream starts a fresh replay of the trace.
+func (t *Trace) Stream() *ReplayStream {
+	return &ReplayStream{prog: t.Prog, recs: t.Recs}
+}
+
+// InstCount is the total number of instructions the stream will deliver;
+// the timing engine uses it to pre-size its in-flight ring.
+func (s *ReplayStream) InstCount() int { return len(s.recs) }
+
+// Next implements the stream contract: the next retired instruction, or
+// false at end. The pointer is valid until the following Next call.
+func (s *ReplayStream) Next() (*Rec, bool) {
+	if s.pos >= len(s.recs) {
+		return nil, false
+	}
+	pr := &s.recs[s.pos]
+	s.pos++
+	inst := &s.prog.Code[pr.Idx]
+	r := &s.rec
+	*r = Rec{Idx: int(pr.Idx), Inst: inst}
+	p := isa.P(inst.Op)
+	if p.Mem {
+		r.Addr, r.Size = pr.Addr, p.Size
+	} else if p.Branch {
+		r.Taken = pr.Br&1 != 0
+		r.Targ = int(pr.Br >> 1)
+	}
+	return r, true
+}
+
+// ResumeStream replays a recorded prefix and then continues stepping the
+// machine the prefix was recorded from — the overflow path for sessions
+// too long to be worth retaining as a full trace. The emulation still runs
+// exactly once; the stream is single-use.
+type ResumeStream struct {
+	rs ReplayStream
+	m  *Machine
+}
+
+// Resume builds a stream over the (partial) trace followed by live
+// execution of m, which must be the machine Record stopped in.
+func (t *Trace) Resume(m *Machine) *ResumeStream {
+	return &ResumeStream{rs: ReplayStream{prog: t.Prog, recs: t.Recs}, m: m}
+}
+
+// Next implements the stream contract.
+func (s *ResumeStream) Next() (*Rec, bool) {
+	if r, ok := s.rs.Next(); ok {
+		return r, true
+	}
+	r := s.m.Step()
+	if r == nil {
+		return nil, false
+	}
+	return r, true
+}

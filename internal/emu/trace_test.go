@@ -1,0 +1,135 @@
+package emu_test
+
+import (
+	"testing"
+
+	"cryptoarch/internal/emu"
+	"cryptoarch/internal/isa"
+	"cryptoarch/internal/kernels"
+)
+
+// newPair builds two identical machines over a real kernel so one can be
+// recorded and the other stepped live for comparison.
+func newPair(t *testing.T, name string, feat isa.Feature, session int) (*emu.Machine, *emu.Machine) {
+	t.Helper()
+	k, err := kernels.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := make([]byte, 16)
+	iv := make([]byte, 8)
+	pt := make([]byte, session)
+	for i := range pt {
+		pt[i] = byte(i*7 + 1)
+	}
+	a, _, err := kernels.NewRun(k, feat, key, iv, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := kernels.NewRun(k, feat, key, iv, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+// sameRec compares every Rec field the timing model consumes. Val is
+// deliberately excluded: traces do not record result values (only the
+// value-prediction experiments need them, and those run live).
+// The two machines hold independently built (identical) programs, so Inst
+// is compared by value, not by pointer.
+func sameRec(a, b *emu.Rec) bool {
+	return a.Idx == b.Idx && *a.Inst == *b.Inst && a.Addr == b.Addr &&
+		a.Size == b.Size && a.Taken == b.Taken && a.Targ == b.Targ
+}
+
+// TestReplayMatchesLive records a trace and checks the replayed record
+// sequence is field-identical to stepping a fresh machine.
+func TestReplayMatchesLive(t *testing.T) {
+	for _, name := range []string{"blowfish", "rc4", "idea"} {
+		t.Run(name, func(t *testing.T) {
+			rm, lm := newPair(t, name, isa.FeatRot, 256)
+			tr, done := emu.Record(rm, 0, nil)
+			if !done {
+				t.Fatal("unbounded Record reported an incomplete run")
+			}
+			if len(tr.Recs) == 0 {
+				t.Fatal("empty trace")
+			}
+			if tr.Bytes() != emu.TraceRecBytes*len(tr.Recs) {
+				t.Fatalf("Bytes() = %d, want %d", tr.Bytes(), emu.TraceRecBytes*len(tr.Recs))
+			}
+			s := tr.Stream()
+			if s.InstCount() != len(tr.Recs) {
+				t.Fatalf("InstCount = %d, want %d", s.InstCount(), len(tr.Recs))
+			}
+			n := 0
+			for {
+				lr := lm.Step()
+				rr, ok := s.Next()
+				if lr == nil || !ok {
+					if lr != nil || ok {
+						t.Fatalf("length mismatch at %d: live ended=%v replay ended=%v", n, lr == nil, !ok)
+					}
+					break
+				}
+				if !sameRec(lr, rr) {
+					t.Fatalf("rec %d mismatch:\nlive   %+v\nreplay %+v", n, *lr, *rr)
+				}
+				n++
+			}
+			if n != len(tr.Recs) {
+				t.Fatalf("replayed %d recs, trace holds %d", n, len(tr.Recs))
+			}
+		})
+	}
+}
+
+// TestPartialRecordResume records only a prefix and checks Resume delivers
+// the identical full stream (replayed prefix + live continuation).
+func TestPartialRecordResume(t *testing.T) {
+	rm, lm := newPair(t, "blowfish", isa.FeatRot, 256)
+	const max = 1000
+	tr, done := emu.Record(rm, max, nil)
+	if done {
+		t.Fatal("expected a truncated record for this session length")
+	}
+	if len(tr.Recs) != max {
+		t.Fatalf("prefix length %d, want %d", len(tr.Recs), max)
+	}
+	s := tr.Resume(rm)
+	n := 0
+	for {
+		lr := lm.Step()
+		rr, ok := s.Next()
+		if lr == nil || !ok {
+			if lr != nil || ok {
+				t.Fatalf("length mismatch at %d", n)
+			}
+			break
+		}
+		if !sameRec(lr, rr) {
+			t.Fatalf("rec %d mismatch:\nlive   %+v\nresume %+v", n, *lr, *rr)
+		}
+		n++
+	}
+	if n <= max {
+		t.Fatalf("resume delivered only %d recs, expected more than the %d-rec prefix", n, max)
+	}
+}
+
+// TestRecordReusesBuffer pins the record-into-reusable-buffer contract:
+// a buffer with enough capacity is not reallocated.
+func TestRecordReusesBuffer(t *testing.T) {
+	rm, _ := newPair(t, "rc4", isa.FeatNoRot, 64)
+	tr, _ := emu.Record(rm, 0, nil)
+	buf := tr.Recs[:0]
+	rm2, _ := newPair(t, "rc4", isa.FeatNoRot, 64)
+	tr2, done := emu.Record(rm2, 0, buf)
+	if !done {
+		t.Fatal("second record incomplete")
+	}
+	if &tr2.Recs[0] != &tr.Recs[0] {
+		t.Fatal("Record reallocated a buffer that had sufficient capacity")
+	}
+}

@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 
-	"cryptoarch/internal/emu"
 	"cryptoarch/internal/harness"
 	"cryptoarch/internal/isa"
 	"cryptoarch/internal/kernels"
@@ -19,23 +18,23 @@ type opMix struct {
 	total  uint64
 }
 
-// measureOpMix executes one cipher session on the emulator and buckets
-// every committed instruction by class.
+// measureOpMix buckets every committed instruction of one cipher session
+// by class. The stream comes from the harness trace cache, so the mix
+// measurement shares (or seeds) the recording the timing models replay.
 func measureOpMix(cipher string, feat isa.Feature, session int, seed int64) (opMix, error) {
 	var mix opMix
-	w, err := harness.NewWorkload(cipher, session, seed)
+	src, _, err := harness.StreamKernel(cipher, feat, session, seed)
 	if err != nil {
 		return mix, err
 	}
-	m, err := harness.Prepare(w, feat)
-	if err != nil {
-		return mix, err
-	}
-	m.Run(func(rec *emu.Rec) {
+	for {
+		rec, ok := src.Next()
+		if !ok {
+			return mix, nil
+		}
 		mix.counts[rec.Inst.Class]++
 		mix.total++
-	})
-	return mix, nil
+	}
 }
 
 // Fig7Cells declares the Figure 7 grid: one class-mix measurement per

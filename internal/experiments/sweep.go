@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"cryptoarch/internal/harness"
@@ -90,6 +91,10 @@ var (
 	runMu    sync.Mutex
 	runCache = map[string]*cellResult{}
 	workers  = runtime.GOMAXPROCS(0)
+
+	// lastSweepWorkers records the worker count of the most recent Sweep,
+	// so tests can assert which execution path it took.
+	lastSweepWorkers int
 )
 
 // getCell returns the completed result for c, executing it if this is the
@@ -127,12 +132,29 @@ func Parallelism() int {
 	return workers
 }
 
-// ResetCache drops every memoized cell result. Used by tests that compare
-// independent serial and parallel regenerations of the suite.
+// ResetCache drops every memoized cell result and the harness trace
+// cache beneath it. Used by tests and benchmarks that compare independent
+// regenerations of the suite: after a reset, nothing — neither timing
+// results nor recorded instruction streams — is shared with prior runs.
 func ResetCache() {
 	runMu.Lock()
 	runCache = map[string]*cellResult{}
 	runMu.Unlock()
+	harness.ResetTraceCache()
+}
+
+// effectiveWorkers is the worker count a sweep of nCells unique cells
+// actually uses: the configured parallelism, clamped to the cell count
+// and to a minimum of one.
+func effectiveWorkers(nCells int) int {
+	n := Parallelism()
+	if n > nCells {
+		n = nCells
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // Sweep executes a grid of cells across the configured worker count.
@@ -142,6 +164,11 @@ func ResetCache() {
 // consumes it — so report output is identical whether or not a sweep ran
 // first, and regardless of worker count.
 func Sweep(cells []Cell) {
+	// Relax GC pacing for the duration of the sweep: recording buffers and
+	// retained traces create a large transient heap, and the default
+	// target makes the collector chase it with frequent cycles that eat
+	// measurable wall time on a single-CPU host.
+	defer debug.SetGCPercent(debug.SetGCPercent(300))
 	seen := make(map[string]bool, len(cells))
 	uniq := cells[:0:0]
 	for _, c := range cells {
@@ -150,10 +177,11 @@ func Sweep(cells []Cell) {
 			uniq = append(uniq, c)
 		}
 	}
-	n := Parallelism()
-	if n > len(uniq) {
-		n = len(uniq)
-	}
+	// One effective worker takes the serial path: no channel, no
+	// goroutines, no scheduler handoffs — measurably cheaper on a
+	// single-CPU host than a one-worker pool.
+	n := effectiveWorkers(len(uniq))
+	lastSweepWorkers = n
 	if n <= 1 {
 		for _, c := range uniq {
 			getCell(c)

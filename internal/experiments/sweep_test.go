@@ -43,6 +43,52 @@ func TestSweepDedup(t *testing.T) {
 	}
 }
 
+// TestEffectiveWorkers pins the worker-count clamp: parallelism bounded
+// by the unique cell count, never below one.
+func TestEffectiveWorkers(t *testing.T) {
+	defer SetParallelism(SetParallelism(1)) // restores the entry value
+	SetParallelism(1)
+	if n := effectiveWorkers(10); n != 1 {
+		t.Errorf("parallelism 1, 10 cells: got %d workers, want 1", n)
+	}
+	SetParallelism(8)
+	if n := effectiveWorkers(3); n != 3 {
+		t.Errorf("parallelism 8, 3 cells: got %d workers, want 3", n)
+	}
+	if n := effectiveWorkers(0); n != 1 {
+		t.Errorf("0 cells: got %d workers, want 1 (clamped)", n)
+	}
+	SetParallelism(4)
+	if n := effectiveWorkers(100); n != 4 {
+		t.Errorf("parallelism 4, 100 cells: got %d workers, want 4", n)
+	}
+}
+
+// TestSweepSerialFallback asserts a one-worker sweep takes the serial
+// path (no worker pool): the PR2 benchmark measured the one-worker pool
+// 33% slower than plain iteration on a single-CPU host.
+func TestSweepSerialFallback(t *testing.T) {
+	defer SetParallelism(SetParallelism(1))
+	c := Cell{Kind: CellCount, Cipher: "rc4", Feat: isa.FeatRot, Session: 64, Seed: DefaultSeed}
+
+	SetParallelism(1)
+	Sweep([]Cell{c, c})
+	if lastSweepWorkers != 1 {
+		t.Errorf("parallelism 1: sweep used %d workers, want serial path (1)", lastSweepWorkers)
+	}
+
+	// Many workers but one unique cell still degenerates to serial.
+	SetParallelism(6)
+	Sweep([]Cell{c, c, c})
+	if lastSweepWorkers != 1 {
+		t.Errorf("1 unique cell: sweep used %d workers, want serial path (1)", lastSweepWorkers)
+	}
+
+	if r := getCell(c); r.err != nil || r.n == 0 {
+		t.Fatalf("serial-path sweep did not execute the cell: n=%d err=%v", r.n, r.err)
+	}
+}
+
 // TestSerialParallelEquivalence regenerates every report of the suite
 // twice — once with a single worker, once with four (forced, so the test
 // exercises real concurrency even on single-CPU machines) — and asserts

@@ -71,13 +71,26 @@ func TimeKernel(cipher string, feat isa.Feature, cfg ooo.Config, sessionBytes in
 }
 
 // TimeKernelObserved is TimeKernel with a RunObserver hooked in between
-// engine construction and the run.
+// engine construction and the run. The instruction stream comes from the
+// trace cache: the first run of a (cipher, feat, session, seed) cell
+// records the emulation, subsequent runs (other machine models of the
+// same cell) replay it.
 func TimeKernelObserved(cipher string, feat isa.Feature, cfg ooo.Config, sessionBytes int, seed int64, obs RunObserver) (*ooo.Stats, error) {
-	w, err := NewWorkload(cipher, sessionBytes, seed)
+	k, err := kernels.Get(cipher)
 	if err != nil {
 		return nil, err
 	}
-	return TimeWorkloadObserved(w, feat, cfg, obs)
+	src, codeLen, err := StreamKernel(cipher, feat, sessionBytes, seed)
+	if err != nil {
+		return nil, err
+	}
+	eng := ooo.NewEngine(cfg, src)
+	eng.WarmData(kernels.CtxAddr, k.CtxBytes)
+	eng.WarmCode(codeLen)
+	if obs != nil {
+		obs(eng)
+	}
+	return eng.Run()
 }
 
 // TimeWorkload times a prepared workload.
@@ -110,25 +123,17 @@ func TimeWorkloadObserved(w *Workload, feat isa.Feature, cfg ooo.Config, obs Run
 // paper's footnote 1 observes encryption and decryption perform
 // comparably; this lets that be verified.
 func TimeDecrypt(cipher string, feat isa.Feature, cfg ooo.Config, sessionBytes int, seed int64) (*ooo.Stats, error) {
-	w, err := NewWorkload(cipher, sessionBytes, seed)
-	if err != nil {
-		return nil, err
-	}
 	k, err := kernels.Get(cipher)
 	if err != nil {
 		return nil, err
 	}
-	ct, err := goldenCiphertext(w)
+	src, codeLen, err := traces.stream(traceKey{cipher: cipher, feat: feat, session: sessionBytes, seed: seed, mode: modeDecrypt})
 	if err != nil {
 		return nil, err
 	}
-	m, _, err := kernels.NewDecRun(k, feat, w.Key, w.IV, ct)
-	if err != nil {
-		return nil, err
-	}
-	eng := ooo.NewEngine(cfg, ooo.MachineStream{M: m})
+	eng := ooo.NewEngine(cfg, src)
 	eng.WarmData(kernels.CtxAddr, k.CtxBytes)
-	eng.WarmCode(len(m.Prog.Code))
+	eng.WarmCode(codeLen)
 	return eng.Run()
 }
 
@@ -156,36 +161,33 @@ func goldenCiphertext(w *Workload) ([]byte, error) {
 	return ct, nil
 }
 
-// CountKernel runs the workload on the functional emulator only and
-// returns the dynamic instruction count (the 1-CPI machine of Figure 4).
+// CountKernel returns the dynamic instruction count of the workload (the
+// 1-CPI machine of Figure 4). It runs through the trace cache, so the
+// count both reuses and seeds the recording the timing models replay.
 func CountKernel(cipher string, feat isa.Feature, sessionBytes int, seed int64) (uint64, error) {
-	w, err := NewWorkload(cipher, sessionBytes, seed)
+	src, _, err := StreamKernel(cipher, feat, sessionBytes, seed)
 	if err != nil {
 		return 0, err
 	}
-	m, err := Prepare(w, feat)
-	if err != nil {
-		return 0, err
+	if ss, ok := src.(ooo.SizedStream); ok {
+		return uint64(ss.InstCount()), nil
 	}
-	return m.Run(nil), nil
+	var n uint64
+	for {
+		if _, ok := src.Next(); !ok {
+			return n, nil
+		}
+		n++
+	}
 }
 
 // TimeSetup times a cipher's key-setup program.
 func TimeSetup(cipher string, feat isa.Feature, cfg ooo.Config, seed int64) (*ooo.Stats, error) {
-	k, err := kernels.Get(cipher)
+	src, codeLen, err := traces.stream(traceKey{cipher: cipher, feat: feat, seed: seed, mode: modeSetup})
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(seed))
-	key := make([]byte, k.KeyBytes)
-	rng.Read(key)
-	iv := make([]byte, max(k.BlockBytes, 8))
-	rng.Read(iv)
-	m, _, err := kernels.NewSetupRun(k, feat, key, iv)
-	if err != nil {
-		return nil, err
-	}
-	eng := ooo.NewEngine(cfg, ooo.MachineStream{M: m})
-	eng.WarmCode(len(m.Prog.Code))
+	eng := ooo.NewEngine(cfg, src)
+	eng.WarmCode(codeLen)
 	return eng.Run()
 }

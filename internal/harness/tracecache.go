@@ -1,0 +1,290 @@
+package harness
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"cryptoarch/internal/emu"
+	"cryptoarch/internal/isa"
+	"cryptoarch/internal/kernels"
+	"cryptoarch/internal/ooo"
+)
+
+// This file implements record-once/replay-many: the dynamic instruction
+// stream of a session is fully determined by (cipher, feat, sessionBytes,
+// seed, mode), yet the sweep times it on up to five machine models. The
+// cache records the functional emulation once into a packed emu.Trace and
+// hands every subsequent run a ReplayStream, so a cell's models share one
+// emulation. Entries never go stale — the key determines the trace bit for
+// bit — so the only invalidation is capacity (LRU) and the explicit
+// ResetTraceCache used by benchmarks.
+
+// traceMode distinguishes the three program shapes a key can describe.
+type traceMode uint8
+
+const (
+	modeEncrypt traceMode = iota
+	modeDecrypt
+	modeSetup // sessionBytes ignored (key setup only)
+)
+
+type traceKey struct {
+	cipher  string
+	feat    isa.Feature
+	session int
+	seed    int64
+	mode    traceMode
+}
+
+// traceEntry is a singleflight slot: the first goroutine to arrive records
+// under once; everyone else waits and replays.
+type traceEntry struct {
+	once sync.Once
+
+	tr      *emu.Trace // complete trace; nil if oversized or errored
+	codeLen int        // static code length (for I-cache warming)
+	err     error
+
+	// Oversized traces (beyond maxTraceInsts) are not retained: the
+	// recording run keeps its machine and hands out a one-shot
+	// replay-prefix-then-go-live stream; later arrivals re-emulate live.
+	resume ooo.Stream
+
+	lastUse uint64 // cache clock at last touch (LRU)
+}
+
+const (
+	// maxTraceInsts caps the records retained per trace (16 B each: 48 MB).
+	// Fig6's 64 KB sessions reach ~15M instructions for 3DES; retaining
+	// those would blow the budget for traces that are replayed by at most
+	// one extra model anyway.
+	maxTraceInsts = 3 << 20
+	// traceBudgetBytes bounds total retained trace memory across the cache.
+	traceBudgetBytes = 192 << 20
+)
+
+// recBufs pools full-capacity record buffers. Recording appends up to
+// maxTraceInsts records; growing a fresh slice there each time costs a
+// doubling series of large copies (hundreds of MB of memmove across a
+// sweep), so recordings borrow a pre-sized buffer and the retained trace
+// keeps only an exact-size copy.
+var recBufs = make(chan []emu.TraceRec, 4)
+
+func getRecBuf() []emu.TraceRec {
+	select {
+	case b := <-recBufs:
+		return b[:0]
+	default:
+		return make([]emu.TraceRec, 0, maxTraceInsts)
+	}
+}
+
+func putRecBuf(b []emu.TraceRec) {
+	if cap(b) < maxTraceInsts {
+		return
+	}
+	select {
+	case recBufs <- b:
+	default:
+	}
+}
+
+// releasingStream returns its borrowed record buffer to the pool once the
+// stream is drained (the engine always runs streams to completion).
+type releasingStream struct {
+	s   ooo.Stream
+	buf []emu.TraceRec
+}
+
+func (r *releasingStream) Next() (*emu.Rec, bool) {
+	rec, ok := r.s.Next()
+	if !ok && r.buf != nil {
+		putRecBuf(r.buf)
+		r.buf = nil
+	}
+	return rec, ok
+}
+
+// TraceCacheStats counts cache traffic for benchmark reporting.
+type TraceCacheStats struct {
+	Records       int           // full traces recorded
+	Replays       int           // runs served by a cached trace
+	Resumes       int           // oversized records streamed out once
+	LiveFallbacks int           // runs that re-emulated live
+	Evictions     int           // traces dropped by the LRU budget
+	RecordTime    time.Duration // wall time spent in functional recording
+}
+
+type traceCache struct {
+	mu      sync.Mutex
+	entries map[traceKey]*traceEntry
+	bytes   int // retained trace bytes
+	clock   uint64
+	stats   TraceCacheStats
+}
+
+var traces = traceCache{entries: make(map[traceKey]*traceEntry)}
+
+// ResetTraceCache drops all cached traces and zeroes the statistics.
+// Benchmarks use it to time cold and warm passes separately.
+func ResetTraceCache() {
+	traces.mu.Lock()
+	defer traces.mu.Unlock()
+	traces.entries = make(map[traceKey]*traceEntry)
+	traces.bytes = 0
+	traces.clock = 0
+	traces.stats = TraceCacheStats{}
+}
+
+// ReadTraceCacheStats returns a snapshot of the cache counters.
+func ReadTraceCacheStats() TraceCacheStats {
+	traces.mu.Lock()
+	defer traces.mu.Unlock()
+	return traces.stats
+}
+
+// machineFor builds the functional machine a key describes.
+func machineFor(k traceKey) (*emu.Machine, error) {
+	kern, err := kernels.Get(k.cipher)
+	if err != nil {
+		return nil, err
+	}
+	if k.mode == modeSetup {
+		key, iv := setupKeyIV(kern, k.seed)
+		m, _, err := kernels.NewSetupRun(kern, k.feat, key, iv)
+		return m, err
+	}
+	w, err := NewWorkload(k.cipher, k.session, k.seed)
+	if err != nil {
+		return nil, err
+	}
+	if k.mode == modeDecrypt {
+		ct, err := goldenCiphertext(w)
+		if err != nil {
+			return nil, err
+		}
+		m, _, err := kernels.NewDecRun(kern, k.feat, w.Key, w.IV, ct)
+		return m, err
+	}
+	m, _, err := kernels.NewRun(kern, k.feat, w.Key, w.IV, w.Plain)
+	return m, err
+}
+
+// record runs the functional emulation for e (singleflight body).
+func (e *traceEntry) record(k traceKey) {
+	start := time.Now()
+	m, err := machineFor(k)
+	if err != nil {
+		e.err = err
+		return
+	}
+	e.codeLen = len(m.Prog.Code)
+	tr, complete := emu.Record(m, maxTraceInsts, getRecBuf())
+	elapsed := time.Since(start)
+
+	traces.mu.Lock()
+	defer traces.mu.Unlock()
+	traces.stats.RecordTime += elapsed
+	if !complete {
+		// Too large to retain: the recorded prefix plus the still-running
+		// machine serve exactly one stream (which returns the borrowed
+		// buffer when drained), then the entry marks the key as live-only.
+		e.resume = &releasingStream{s: tr.Resume(m), buf: tr.Recs}
+		return
+	}
+	// Retain an exact-size copy; the oversized pooled buffer goes back.
+	recs := make([]emu.TraceRec, len(tr.Recs))
+	copy(recs, tr.Recs)
+	putRecBuf(tr.Recs)
+	tr = &emu.Trace{Prog: tr.Prog, Recs: recs}
+	traces.stats.Records++
+	e.tr = tr
+	traces.bytes += tr.Bytes()
+	traces.evictLocked()
+}
+
+// evictLocked enforces the byte budget, dropping least-recently-used
+// complete traces. Streams already handed out keep their trace alive; the
+// cache just forgets it.
+func (c *traceCache) evictLocked() {
+	for c.bytes > traceBudgetBytes {
+		var victim traceKey
+		var ve *traceEntry
+		for k, e := range c.entries {
+			if e.tr == nil {
+				continue
+			}
+			if ve == nil || e.lastUse < ve.lastUse {
+				victim, ve = k, e
+			}
+		}
+		if ve == nil {
+			return
+		}
+		c.bytes -= ve.tr.Bytes()
+		delete(c.entries, victim)
+		c.stats.Evictions++
+	}
+}
+
+// stream returns an ooo.Stream delivering the key's committed-path
+// instruction stream, plus the static code length for I-cache warming.
+// Cached keys replay without re-running the emulator.
+func (c *traceCache) stream(k traceKey) (ooo.Stream, int, error) {
+	c.mu.Lock()
+	e := c.entries[k]
+	if e == nil {
+		e = &traceEntry{}
+		c.entries[k] = e
+	}
+	c.clock++
+	e.lastUse = c.clock
+	c.mu.Unlock()
+
+	e.once.Do(func() { e.record(k) })
+	if e.err != nil {
+		return nil, 0, e.err
+	}
+
+	c.mu.Lock()
+	if e.tr != nil {
+		c.stats.Replays++
+		c.mu.Unlock()
+		return e.tr.Stream(), e.codeLen, nil
+	}
+	if s := e.resume; s != nil {
+		e.resume = nil // single-use
+		c.stats.Resumes++
+		c.mu.Unlock()
+		return s, e.codeLen, nil
+	}
+	c.stats.LiveFallbacks++
+	c.mu.Unlock()
+
+	m, err := machineFor(k)
+	if err != nil {
+		return nil, 0, err
+	}
+	return ooo.MachineStream{M: m}, len(m.Prog.Code), nil
+}
+
+// StreamKernel returns the committed-path instruction stream of an
+// encryption session, served from the trace cache when possible, plus the
+// program's static instruction count. Callers that only inspect the
+// stream (e.g. the op-mix measurement) share the same recorded emulation
+// the timing runs replay. Replayed records carry Val == 0;
+// value-prediction experiments must keep using a live machine.
+func StreamKernel(cipher string, feat isa.Feature, sessionBytes int, seed int64) (ooo.Stream, int, error) {
+	return traces.stream(traceKey{cipher: cipher, feat: feat, session: sessionBytes, seed: seed, mode: modeEncrypt})
+}
+
+// setupKeyIV derives the deterministic key/IV TimeSetup uses.
+func setupKeyIV(k *kernels.Kernel, seed int64) (key, iv []byte) {
+	rng := rand.New(rand.NewSource(seed))
+	key = make([]byte, k.KeyBytes)
+	rng.Read(key)
+	iv = make([]byte, max(k.BlockBytes, 8))
+	rng.Read(iv)
+	return key, iv
+}

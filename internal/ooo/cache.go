@@ -28,6 +28,7 @@ const (
 // for the tagged next-line prefetcher.
 type setAssoc struct {
 	sets, ways int
+	setMask    uint64 // sets-1; set counts are powers of two
 	shift      uint
 	tags       []uint64 // sets*ways, tag 0 = invalid (addresses start above 0)
 	lru        []uint64 // access stamps
@@ -36,8 +37,11 @@ type setAssoc struct {
 }
 
 func newSetAssoc(sets, ways int, shift uint) *setAssoc {
+	if sets&(sets-1) != 0 {
+		panic("setAssoc: sets must be a power of two")
+	}
 	return &setAssoc{
-		sets: sets, ways: ways, shift: shift,
+		sets: sets, ways: ways, setMask: uint64(sets - 1), shift: shift,
 		tags: make([]uint64, sets*ways),
 		lru:  make([]uint64, sets*ways),
 		pref: make([]bool, sets*ways),
@@ -50,8 +54,7 @@ func newSetAssoc(sets, ways int, shift uint) *setAssoc {
 // prefetched line (which re-arms the next-line prefetcher).
 func (s *setAssoc) access(addr uint64, fill, asPrefetch bool) (hit, wasPref bool) {
 	blk := addr >> s.shift
-	set := int(blk) % s.sets
-	base := set * s.ways
+	base := int(blk&s.setMask) * s.ways
 	s.stamp++
 	victim, oldest := base, ^uint64(0)
 	for w := 0; w < s.ways; w++ {

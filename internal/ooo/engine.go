@@ -3,6 +3,8 @@ package ooo
 import (
 	"fmt"
 	"math/bits"
+	"sync"
+	"unsafe"
 
 	"cryptoarch/internal/core"
 	"cryptoarch/internal/emu"
@@ -25,6 +27,15 @@ func (s MachineStream) Next() (*emu.Rec, bool) {
 		return nil, false
 	}
 	return r, true
+}
+
+// SizedStream is optionally implemented by streams that know in advance
+// how many instructions they will deliver (e.g. emu.ReplayStream). The
+// engine uses the count to pre-size the in-flight ring for
+// infinite-window machines, which otherwise grow it by repeated doubling.
+type SizedStream interface {
+	Stream
+	InstCount() int
 }
 
 // CodeBase is the simulated address of instruction index 0 (instruction
@@ -67,32 +78,40 @@ const (
 	stDone
 )
 
+// entry is one reorder-buffer slot. The layout is packed (96 bytes on
+// amd64): fetch rewrites the whole struct once per instruction and commit
+// walks the ring in order, so entry size is raw bandwidth in the hottest
+// loops. Per-entry cycle stamps are uint32 — Run aborts before the global
+// cycle counter could truncate.
 type entry struct {
-	seq   uint64
-	idx   int
-	inst  *isa.Inst
-	addr  uint64
-	size  uint8
-	state uint8
+	seq          uint64
+	inst         *isa.Inst
+	addr         uint64
+	storeOrdinal uint64 // for stores: position in store order (1-based)
+	dataProd     uint64 // stores: seq+1 of the data producer (0 if ready)
+	needStores   uint64 // loads: stores that must have known addresses
 
-	pendingDeps int
-	consumers   []uint64 // seqs of waiting dependents
+	idx         int32
+	pendingDeps int32
+	// Waiting dependents as a pooled intrusive list (engine.consPool,
+	// 1-based node indices; 0 = none). The zero value is an empty list, so
+	// ring growth and entry recycling need no re-initialization.
+	consHead, consTail int32
 
+	fetchCycle    uint32
+	dispatchCycle uint32
+	readyCycle    uint32
+	doneCycle     uint32
+
+	size            uint8
+	state           uint8
+	kind            uint8 // FU kind (kindOf), computed once at fetch
 	isLoad, isStore bool
-	sboxToDCache    bool   // SBOX routed through a D-cache port
-	storeOrdinal    uint64 // for stores: position in store order (1-based)
-	dataProd        uint64 // stores: seq+1 of the data producer (0 if ready)
-	needStores      uint64 // loads: stores that must have known addresses
-	memBlocked      bool   // waiting on store-address ordering
-
-	mispred      bool
-	memLevel     uint8 // deepest miss level of this entry's data access
-	issueDelayed bool  // issued later than its ready cycle (passed over)
-
-	fetchCycle    uint64
-	dispatchCycle uint64
-	readyCycle    uint64
-	doneCycle     uint64
+	sboxToDCache    bool // SBOX routed through a D-cache port
+	memBlocked      bool // waiting on store-address ordering
+	mispred         bool
+	memLevel        uint8 // deepest miss level of this entry's data access
+	issueDelayed    bool  // issued later than its ready cycle (passed over)
 }
 
 // Data-access miss levels recorded per entry (deepest wins).
@@ -138,6 +157,16 @@ func kindOf(en *entry) int {
 	}
 }
 
+// consNode is one element of a pooled consumer list (entry.consHead).
+// Nodes for every in-flight list live in Engine.consPool; freed lists are
+// spliced whole onto a freelist, so after warm-up the simulation allocates
+// no per-dependence memory — the fix for the dataflow model, whose 2^18
+// in-flight entries used to hold a heap slice each.
+type consNode struct {
+	seq  uint64
+	next int32
+}
+
 type sboxCache struct {
 	tag    uint64
 	valid  uint32 // 32 sector-valid bits
@@ -161,6 +190,11 @@ type Engine struct {
 	memOps  int    // in-flight loads/stores (LSQ occupancy)
 
 	regProducer [isa.NumRegs]uint64 // seq+1 of latest producer; 0 = none
+
+	// Consumer-list node pool. Node i lives at consPool[i-1] (1-based so
+	// index 0 means "none"); consFree heads the freelist.
+	consPool []consNode
+	consFree int32
 
 	// Store ordering. Issued-but-not-yet-contiguous store ordinals live in
 	// a ring bitset indexed ordinal&(len-1); in-flight ordinals span
@@ -205,8 +239,10 @@ type Engine struct {
 	blockedBranchSeq     uint64
 	lastFetchLine        uint64
 	streamDone           bool
-	pending              emu.Rec // peeked record not yet fetched
-	pendingValid         bool
+	// pending is a peeked record not yet fetched. It points into the
+	// stream's internal record, which stays valid until the next Next
+	// call — fetch consumes it before peeking again, so no copy is kept.
+	pending *emu.Rec
 
 	sboxCaches []sboxCache
 
@@ -243,9 +279,22 @@ func NewEngine(cfg Config, src Stream) *Engine {
 	}
 	e.stats.Config = cfg.Name
 	// The ring holds both the fetch queue and the window; size it for the
-	// worst case and let the infinite-window case grow on demand.
+	// worst case. An infinite window normally starts small and doubles on
+	// demand, but when the stream knows its length (replay) the ring is
+	// sized once up front, eliminating the growth churn that dominated the
+	// dataflow model's allocation profile.
 	capHint := cfg.WindowSize + e.fetchQueueCap() + 64
-	e.rob = make([]entry, nextPow2(capHint))
+	if inf(cfg.WindowSize) {
+		if ss, ok := src.(SizedStream); ok {
+			n := ss.InstCount()
+			if n > maxWindow {
+				n = maxWindow
+			}
+			capHint = n + e.fetchQueueCap() + 64
+		}
+	}
+	e.rob = getRing(nextPow2(capHint))
+	e.consPool = getConsPool()
 	e.fetchQ = make([]uint64, nextPow2(e.fetchQueueCap()))
 	return e
 }
@@ -282,6 +331,87 @@ func nextPow2(n int) int {
 	return p
 }
 
+// ROB rings are recycled between runs without re-zeroing: every entry is
+// fully initialized by fetch before any other stage reads it (all reads
+// go through seqs that fetch already allocated), so stale contents are
+// never observed. Zeroing mattered — the dataflow model's ring is tens of
+// MB and used to be cleared on every engine construction. The freelist is
+// bounded by total retained bytes, keeping at most a few of the largest
+// rings alive.
+var (
+	ringMu    sync.Mutex
+	ringFree  = map[int][][]entry{}
+	ringBytes int
+)
+
+const ringPoolBudget = 128 << 20
+
+func entryBytes(n int) int { return n * int(unsafe.Sizeof(entry{})) }
+
+// Consumer-node pools are recycled across runs like the rings: the slice
+// is reset to length zero, and every node is fully written by addConsumer
+// before it is read, so stale contents are never observed.
+const consPoolBudget = 64 << 20
+
+var (
+	consMu    sync.Mutex
+	consFreeL [][]consNode
+	consBytes int
+)
+
+func consNodeBytes(n int) int { return n * int(unsafe.Sizeof(consNode{})) }
+
+func getConsPool() []consNode {
+	consMu.Lock()
+	if n := len(consFreeL); n > 0 {
+		b := consFreeL[n-1]
+		consFreeL = consFreeL[:n-1]
+		consBytes -= consNodeBytes(cap(b))
+		consMu.Unlock()
+		return b[:0]
+	}
+	consMu.Unlock()
+	return nil
+}
+
+func putConsPool(b []consNode) {
+	if cap(b) == 0 {
+		return
+	}
+	consMu.Lock()
+	if consBytes+consNodeBytes(cap(b)) <= consPoolBudget {
+		consFreeL = append(consFreeL, b)
+		consBytes += consNodeBytes(cap(b))
+	}
+	consMu.Unlock()
+}
+
+func getRing(n int) []entry {
+	ringMu.Lock()
+	if l := ringFree[n]; len(l) > 0 {
+		r := l[len(l)-1]
+		ringFree[n] = l[:len(l)-1]
+		ringBytes -= entryBytes(n)
+		ringMu.Unlock()
+		return r
+	}
+	ringMu.Unlock()
+	return make([]entry, n)
+}
+
+func putRing(r []entry) {
+	n := len(r)
+	if n == 0 {
+		return
+	}
+	ringMu.Lock()
+	if ringBytes+entryBytes(n) <= ringPoolBudget {
+		ringFree[n] = append(ringFree[n], r)
+		ringBytes += entryBytes(n)
+	}
+	ringMu.Unlock()
+}
+
 func (e *Engine) at(seq uint64) *entry { return &e.rob[seq&uint64(len(e.rob)-1)] }
 
 // fqLen is the fetch/decode queue occupancy.
@@ -301,10 +431,11 @@ func (e *Engine) ensureRing() {
 
 func (e *Engine) growROB() {
 	old := e.rob
-	e.rob = make([]entry, len(old)*2)
+	e.rob = getRing(len(old) * 2)
 	for s := e.headSeq; s < e.tailSeq; s++ {
 		e.rob[s&uint64(len(e.rob)-1)] = old[s&uint64(len(old)-1)]
 	}
+	putRing(old)
 }
 
 // growStoreRing doubles the issued-store-ordinal ring, re-placing the
@@ -350,7 +481,7 @@ func (e *Engine) Run() (*Stats, error) {
 	var idle uint64
 	for {
 		progress := e.step()
-		if e.streamDone && !e.pendingValid && e.fqLen() == 0 && e.headSeq == e.tailSeq {
+		if e.streamDone && e.pending == nil && e.fqLen() == 0 && e.headSeq == e.tailSeq {
 			break
 		}
 		if progress {
@@ -358,6 +489,11 @@ func (e *Engine) Run() (*Stats, error) {
 		} else if idle++; idle > idleLimit {
 			return nil, fmt.Errorf("ooo: %s deadlocked at cycle %d (head %d tail %d)",
 				e.cfg.Name, e.cycle, e.headSeq, e.tailSeq)
+		}
+		if e.cycle>>32 != 0 {
+			// Per-entry cycle stamps are uint32; no modeled run comes
+			// within orders of magnitude of this.
+			return nil, fmt.Errorf("ooo: %s exceeded 2^32 cycles", e.cfg.Name)
 		}
 		// Charge this cycle's commit slots. The final (break) iteration is
 		// not a counted cycle, so accounted cycles == Stats.Cycles and the
@@ -369,6 +505,12 @@ func (e *Engine) Run() (*Stats, error) {
 	e.stats.DL1Misses = e.mem.DL1Miss
 	e.stats.L2Misses = e.mem.L2Miss
 	e.stats.TLBMisses = e.mem.TLBMiss
+	// The run is complete: recycle the ring and node pool for the next
+	// engine.
+	putRing(e.rob)
+	e.rob = nil
+	putConsPool(e.consPool)
+	e.consPool = nil
 	return &e.stats, nil
 }
 
@@ -397,22 +539,48 @@ func (e *Engine) step() bool {
 }
 
 // writeback processes completions scheduled for this cycle: wakes register
-// consumers, advances store ordering, releases branch stalls.
+// consumers, advances store ordering, releases branch stalls. The
+// calendar walk is inlined here so every completion is a direct call —
+// this runs once per simulated instruction. Overflow drains first; see
+// the ordering argument on the calendar type.
 func (e *Engine) writeback() bool {
-	return e.completions.drain(e.cycle, e.complete)
+	c := &e.completions
+	any := false
+	if len(c.overflow) > 0 && c.overflow[0].cycle == e.cycle {
+		n := 0
+		for n < len(c.overflow) && c.overflow[n].cycle == e.cycle {
+			e.complete(c.overflow[n].seq)
+			n++
+		}
+		copy(c.overflow, c.overflow[n:])
+		c.overflow = c.overflow[:len(c.overflow)-n]
+		any = true
+	}
+	slot := &c.slots[e.cycle&(calSlots-1)]
+	if len(*slot) > 0 {
+		for _, s := range *slot {
+			e.complete(s)
+		}
+		*slot = (*slot)[:0]
+		any = true
+	}
+	return any
 }
 
 // complete finishes one instruction: wakes register consumers, releases a
-// blocked branch. The consumers slice is truncated, not dropped, so the
-// ROB ring reuses its backing array on the entry's next life.
+// blocked branch. The consumer list is spliced back onto the node
+// freelist in one step, so completion frees no memory.
 func (e *Engine) complete(s uint64) {
 	en := e.at(s)
 	en.state = stDone
 	if e.tracer != nil {
-		e.tracer.Event(TraceWriteback, e.cycle, s, en.idx, en.inst)
+		e.tracer.Event(TraceWriteback, e.cycle, s, int(en.idx), en.inst)
 	}
-	for _, c := range en.consumers {
-		ce := e.at(c)
+	rob, mask := e.rob, uint64(len(e.rob)-1)
+	pool := e.consPool
+	for i := en.consHead; i != 0; i = pool[i-1].next {
+		c := pool[i-1].seq
+		ce := &rob[c&mask]
 		if ce.seq != c || ce.state != stWaiting {
 			continue
 		}
@@ -421,11 +589,15 @@ func (e *Engine) complete(s uint64) {
 			e.makeReady(ce)
 		}
 	}
-	en.consumers = en.consumers[:0]
+	if en.consHead != 0 {
+		e.consPool[en.consTail-1].next = e.consFree
+		e.consFree = en.consHead
+		en.consHead, en.consTail = 0, 0
+	}
 	if en.mispred && e.fetchBlockedOnBranch && e.blockedBranchSeq == s {
 		e.fetchBlockedOnBranch = false
 		resume := e.cycle + 1
-		if min := en.fetchCycle + uint64(e.cfg.BranchPenalty); min > resume {
+		if min := uint64(en.fetchCycle) + uint64(e.cfg.BranchPenalty); min > resume {
 			resume = min
 		}
 		if resume > e.fetchStallTil {
@@ -433,6 +605,26 @@ func (e *Engine) complete(s uint64) {
 			e.fetchStallBranch = true
 		}
 	}
+}
+
+// addConsumer appends a waiting dependent to pe's consumer list. FIFO
+// order is preserved (tail append): wakeup order feeds the ready queues
+// and is therefore visible in the golden statistics.
+func (e *Engine) addConsumer(pe *entry, seq uint64) {
+	i := e.consFree
+	if i == 0 {
+		e.consPool = append(e.consPool, consNode{})
+		i = int32(len(e.consPool))
+	} else {
+		e.consFree = e.consPool[i-1].next
+	}
+	e.consPool[i-1] = consNode{seq: seq}
+	if pe.consTail == 0 {
+		pe.consHead = i
+	} else {
+		e.consPool[pe.consTail-1].next = i
+	}
+	pe.consTail = i
 }
 
 // queueReady inserts a ready entry into its per-kind issue queue.
@@ -444,12 +636,12 @@ func (e *Engine) queueReady(k int, seq uint64) {
 func (e *Engine) makeReady(en *entry) {
 	en.state = stReady
 	rc := e.cycle
-	if en.dispatchCycle+1 > rc {
-		rc = en.dispatchCycle + 1
+	if dc := uint64(en.dispatchCycle) + 1; dc > rc {
+		rc = dc
 	}
-	en.readyCycle = rc
+	en.readyCycle = uint32(rc)
 	if rc <= e.cycle {
-		e.queueReady(kindOf(en), en.seq)
+		e.queueReady(int(en.kind), en.seq)
 	} else {
 		// dispatchCycle never exceeds the current cycle, so rc is at most
 		// cycle+1: the parity bucket rc&1 promotes exactly at cycle rc.
@@ -464,10 +656,11 @@ func (e *Engine) promoteReady() bool {
 	if len(*b) == 0 {
 		return false
 	}
+	rob, mask := e.rob, uint64(len(e.rob)-1)
 	for _, s := range *b {
-		en := e.at(s)
+		en := &rob[s&mask]
 		if en.seq == s && en.state == stReady {
-			e.queueReady(kindOf(en), s)
+			e.queueReady(int(en.kind), s)
 		}
 	}
 	*b = (*b)[:0]
@@ -478,9 +671,10 @@ func (e *Engine) promoteReady() bool {
 func (e *Engine) commit() bool {
 	width := e.cfg.IssueWidth
 	n := 0
+	rob, mask := e.rob, uint64(len(e.rob)-1)
 	for e.headSeq < e.tailSeq {
-		en := e.at(e.headSeq)
-		if en.state != stDone || en.doneCycle >= e.cycle {
+		en := &rob[e.headSeq&mask]
+		if en.state != stDone || uint64(en.doneCycle) >= e.cycle {
 			break
 		}
 		if !inf(width) && n >= width {
@@ -490,7 +684,7 @@ func (e *Engine) commit() bool {
 			e.memOps--
 		}
 		if e.tracer != nil {
-			e.tracer.Event(TraceCommit, e.cycle, en.seq, en.idx, en.inst)
+			e.tracer.Event(TraceCommit, e.cycle, en.seq, int(en.idx), en.inst)
 		}
 		e.headSeq++
 		n++
@@ -528,7 +722,7 @@ func (e *Engine) headBlame() StallCause {
 				return StallBranch
 			}
 			return StallICache
-		case e.streamDone && !e.pendingValid && e.fqLen() == 0:
+		case e.streamDone && e.pending == nil && e.fqLen() == 0:
 			return StallDrain
 		default:
 			return StallIFetch // fetched but not yet decoded/dispatched
@@ -541,13 +735,13 @@ func (e *Engine) headBlame() StallCause {
 	switch {
 	case en.state == stWaiting && en.memBlocked:
 		return StallAlias
-	case en.state == stReady && en.readyCycle > e.cycle:
+	case en.state == stReady && uint64(en.readyCycle) > e.cycle:
 		return StallIFetch // dispatch/rename fill: became ready too late
 	case en.state == stReady:
 		// Ready but not issued this cycle. Oldest-first selection means
 		// the head is passed over only when its own pool is saturated or
 		// the whole issue width went to it being unreachable.
-		if k := kindOf(en); !e.kindHasRoom(k) {
+		if k := int(en.kind); !e.kindHasRoom(k) {
 			return fuStall(k)
 		}
 		return StallIssue
@@ -562,7 +756,7 @@ func (e *Engine) headBlame() StallCause {
 	// genuinely window-limited (a full window still could not feed the
 	// issue width); anything else is the head's own execution latency.
 	if en.issueDelayed {
-		if k := kindOf(en); !e.kindHasRoom(k) {
+		if k := int(en.kind); !e.kindHasRoom(k) {
 			return fuStall(k)
 		}
 		return StallIssue
@@ -734,6 +928,7 @@ func (e *Engine) sboxAccess(en *entry) uint64 {
 func (e *Engine) issue() bool {
 	width := e.cfg.IssueWidth
 	issued := 0
+	rob, rmask := e.rob, uint64(len(e.rob)-1)
 	for {
 		if !inf(width) && issued >= width {
 			break
@@ -756,16 +951,16 @@ func (e *Engine) issue() bool {
 		if len(e.readyQ[best]) == 0 {
 			e.readyMask &^= 1 << uint(best)
 		}
-		en := e.at(bestSeq)
+		en := &rob[bestSeq&rmask]
 		e.reserve(best)
 		en.state = stIssued
-		en.issueDelayed = e.cycle > en.readyCycle
+		en.issueDelayed = e.cycle > uint64(en.readyCycle)
 		lat := e.latency(en)
-		en.doneCycle = e.cycle + lat
-		e.completions.schedule(e.cycle, en.doneCycle, bestSeq)
+		en.doneCycle = uint32(e.cycle + lat)
+		e.completions.schedule(e.cycle, uint64(en.doneCycle), bestSeq)
 		issued++
 		if e.tracer != nil {
-			e.tracer.Event(TraceIssue, e.cycle, bestSeq, en.idx, en.inst)
+			e.tracer.Event(TraceIssue, e.cycle, bestSeq, int(en.idx), en.inst)
 		}
 		if en.isStore {
 			e.storeIssued[en.storeOrdinal&uint64(len(e.storeIssued)-1)] = true
@@ -789,9 +984,10 @@ func (e *Engine) advanceStoreKnown() {
 		e.storeIssued[(e.storeKnown+1)&mask] = false
 		e.storeKnown++
 	}
+	rob, rmask := e.rob, uint64(len(e.rob)-1)
 	for e.memWaitHead < len(e.memWaiters) {
 		s := e.memWaiters[e.memWaitHead]
-		en := e.at(s)
+		en := &rob[s&rmask]
 		if en.seq == s && en.needStores > e.storeKnown {
 			// Waiters arrive in seq order with monotone requirements, so
 			// the first unsatisfied one blocks the rest.
@@ -816,18 +1012,20 @@ func (e *Engine) advanceStoreKnown() {
 func (e *Engine) dispatch() bool {
 	width := e.cfg.IssueWidth
 	mask := uint64(len(e.fetchQ) - 1)
+	effW := e.effWindow()
+	rob, rmask := e.rob, uint64(len(e.rob)-1)
 	n := 0
 	for e.fqHead != e.fqTail {
 		if !inf(width) && n >= width {
 			break
 		}
-		if e.windowOcc() >= e.effWindow() {
+		if e.windowOcc() >= effW {
 			e.windowFullCycle = e.cycle
 			break
 		}
 		s := e.fetchQ[e.fqHead&mask]
-		en := e.at(s)
-		if en.fetchCycle >= e.cycle {
+		en := &rob[s&rmask]
+		if uint64(en.fetchCycle) >= e.cycle {
 			break // fetched this cycle; decodes next cycle
 		}
 		if en.isLoad || en.isStore {
@@ -846,13 +1044,14 @@ func (e *Engine) dispatch() bool {
 // wireDependencies computes register and memory-ordering dependencies for
 // a newly dispatched entry.
 func (e *Engine) wireDependencies(en *entry) {
-	en.dispatchCycle = e.cycle
+	en.dispatchCycle = uint32(e.cycle)
 	e.stats.Instructions++
 	e.stats.ClassCounts[en.inst.Class]++
 	if e.tracer != nil {
-		e.tracer.Event(TraceDispatch, e.cycle, en.seq, en.idx, en.inst)
+		e.tracer.Event(TraceDispatch, e.cycle, en.seq, int(en.idx), en.inst)
 	}
 
+	rob, mask := e.rob, uint64(len(e.rob)-1)
 	srcs := en.inst.Sources(e.srcScratch[:0])
 	if en.isStore {
 		// A store issues (and publishes its address) as soon as the base
@@ -863,7 +1062,7 @@ func (e *Engine) wireDependencies(en *entry) {
 			srcs = append(srcs, en.inst.Rb)
 		}
 		if p := e.regProducer[en.inst.Ra]; p != 0 && p-1 >= e.headSeq {
-			if pe := e.at(p - 1); pe.seq == p-1 && pe.state != stDone {
+			if pe := &rob[(p-1)&mask]; pe.seq == p-1 && pe.state != stDone {
 				en.dataProd = p // seq+1 of the store-data producer
 			}
 		}
@@ -873,11 +1072,11 @@ func (e *Engine) wireDependencies(en *entry) {
 		if p == 0 {
 			continue
 		}
-		pe := e.at(p - 1)
+		pe := &rob[(p-1)&mask]
 		if pe.seq != p-1 || pe.state == stDone || p-1 < e.headSeq {
 			continue
 		}
-		pe.consumers = append(pe.consumers, en.seq)
+		e.addConsumer(pe, en.seq)
 		en.pendingDeps++
 	}
 	if d := en.inst.Dest(); d != isa.RZ {
@@ -892,31 +1091,24 @@ func (e *Engine) wireDependencies(en *entry) {
 		if e.storeCount-e.storeKnown >= uint64(len(e.storeIssued)) {
 			e.growStoreRing()
 		}
-		for i := uint64(0); i < uint64(en.size); i++ {
-			e.lastStoreByte.set(en.addr+i, en.seq+1)
-		}
+		e.lastStoreByte.setRange(en.addr, uint64(en.size), en.seq+1)
 	}
 	if en.isLoad {
 		e.stats.Loads++
 		// Forwarding/overlap dependency: the youngest earlier store
 		// touching any loaded byte. The load waits for that store's
 		// address publication and for its data value.
-		var dep uint64
-		for i := uint64(0); i < uint64(en.size); i++ {
-			if p := e.lastStoreByte.get(en.addr + i); p > dep {
-				dep = p
-			}
-		}
+		dep := e.lastStoreByte.getMax(en.addr, uint64(en.size))
 		if dep > 0 && dep-1 >= e.headSeq {
-			pe := e.at(dep - 1)
+			pe := &rob[(dep-1)&mask]
 			if pe.seq == dep-1 && pe.state != stDone {
-				pe.consumers = append(pe.consumers, en.seq)
+				e.addConsumer(pe, en.seq)
 				en.pendingDeps++
 			}
 			if pe.seq == dep-1 && pe.dataProd != 0 && pe.dataProd-1 >= e.headSeq {
-				dp := e.at(pe.dataProd - 1)
+				dp := &rob[(pe.dataProd-1)&mask]
 				if dp.seq == pe.dataProd-1 && dp.state != stDone {
-					dp.consumers = append(dp.consumers, en.seq)
+					e.addConsumer(dp, en.seq)
 					en.pendingDeps++
 				}
 			}
@@ -946,20 +1138,20 @@ func (e *Engine) fetch() bool {
 	}
 	qCap := e.fetchQueueCap()
 	mask := uint64(len(e.fetchQ) - 1)
+	rob, rmask := e.rob, uint64(len(e.rob)-1)
 	blocks := 0
 	inBlock := 0
 	fetched := 0
 	for e.fqLen() < qCap {
-		if !e.pendingValid {
+		if e.pending == nil {
 			r, ok := e.src.Next()
 			if !ok {
 				e.streamDone = true
 				break
 			}
-			e.pending = *r
-			e.pendingValid = true
+			e.pending = r
 		}
-		rec := &e.pending
+		rec := e.pending
 
 		// I-cache: charge a stall when crossing into a missing line.
 		line := (CodeBase + uint64(rec.Idx)*4) >> blockShift
@@ -974,23 +1166,40 @@ func (e *Engine) fetch() bool {
 		}
 
 		e.ensureRing()
+		if len(rob) != len(e.rob) {
+			rob, rmask = e.rob, uint64(len(e.rob)-1)
+		}
 		seq := e.tailSeq
 		e.tailSeq++
-		en := e.at(seq)
-		cons := en.consumers[:0] // recycle the ring entry's backing array
-		*en = entry{
-			seq:        seq,
-			idx:        rec.Idx,
-			inst:       rec.Inst,
-			addr:       rec.Addr,
-			size:       rec.Size,
-			state:      stWaiting,
-			fetchCycle: e.cycle,
-			consumers:  cons,
-		}
+		en := &rob[seq&rmask]
+		// Every field is stored directly: a composite literal would build
+		// the 96-byte struct in a temporary and duffcopy it into the ring.
+		// consHead/consTail must be reset too — rings recycled by growROB
+		// mid-run carry entries whose lists were still live when the ring
+		// was swapped out.
+		en.seq = seq
+		en.inst = rec.Inst
+		en.addr = rec.Addr
+		en.storeOrdinal = 0
+		en.dataProd = 0
+		en.needStores = 0
+		en.idx = int32(rec.Idx)
+		en.pendingDeps = 0
+		en.consHead, en.consTail = 0, 0
+		en.fetchCycle = uint32(e.cycle)
+		en.dispatchCycle = 0
+		en.readyCycle = 0
+		en.doneCycle = 0
+		en.size = rec.Size
+		en.state = stWaiting
 		p := isa.P(rec.Inst.Op)
 		en.isStore = p.Store
 		en.isLoad = p.Load && rec.Inst.Op != isa.OpSBOX
+		en.sboxToDCache = false
+		en.memBlocked = false
+		en.mispred = false
+		en.memLevel = memHit
+		en.issueDelayed = false
 		if rec.Inst.Op == isa.OpSBOX {
 			if rec.Inst.Aliased {
 				// Aliased SBOX behaves as a load with optimized agen.
@@ -1000,9 +1209,10 @@ func (e *Engine) fetch() bool {
 				en.sboxToDCache = true
 			}
 		}
+		en.kind = uint8(kindOf(en))
 		e.fetchQ[e.fqTail&mask] = seq
 		e.fqTail++
-		e.pendingValid = false
+		e.pending = nil
 		fetched++
 		if e.tracer != nil {
 			e.tracer.Event(TraceFetch, e.cycle, seq, rec.Idx, rec.Inst)

@@ -90,31 +90,8 @@ func (c *calendar) schedule(now, cycle, seq uint64) {
 	}
 }
 
-// drain invokes fn for every event booked at cycle, overflow first (see
-// the ordering argument above), and reports whether any event fired. The
-// slot's backing array is retained for reuse.
-func (c *calendar) drain(cycle uint64, fn func(seq uint64)) bool {
-	any := false
-	if len(c.overflow) > 0 && c.overflow[0].cycle == cycle {
-		n := 0
-		for n < len(c.overflow) && c.overflow[n].cycle == cycle {
-			fn(c.overflow[n].seq)
-			n++
-		}
-		copy(c.overflow, c.overflow[n:])
-		c.overflow = c.overflow[:len(c.overflow)-n]
-		any = true
-	}
-	slot := &c.slots[cycle&(calSlots-1)]
-	if len(*slot) > 0 {
-		for _, s := range *slot {
-			fn(s)
-		}
-		*slot = (*slot)[:0]
-		any = true
-	}
-	return any
-}
+// Draining happens inline in Engine.writeback (overflow first, then the
+// cycle's slot) so each completion is a direct method call.
 
 // aliasPageShift sizes the last-store slabs (4KB of simulated bytes each).
 const aliasPageShift = 12
@@ -124,42 +101,81 @@ type aliasSlab [1 << aliasPageShift]uint64
 // aliasMap tracks the youngest store (seq+1) per byte address — the
 // perfect-alias oracle and forwarding source. Simulated data addresses
 // cluster in a handful of pages (cipher context plus session buffers), so
-// a page table of dense slabs with a one-entry page cache makes both the
-// per-store set and the per-load get map-free on the hot path.
+// a page table of dense slabs fronted by a small direct-mapped page cache
+// makes both the per-store set and the per-load get map-free on the hot
+// path. A single cached page is not enough: loads hitting the context
+// page alternate with stores to the session buffer and thrash it.
 type aliasMap struct {
-	pages    map[uint64]*aliasSlab
-	lastPage uint64
-	lastSlab *aliasSlab
+	pages map[uint64]*aliasSlab
+	tag   [aliasWays]uint64
+	way   [aliasWays]*aliasSlab
 }
+
+const aliasWays = 8 // power of two; indexed by page low bits
 
 func newAliasMap() aliasMap {
-	return aliasMap{pages: make(map[uint64]*aliasSlab), lastPage: ^uint64(0)}
+	a := aliasMap{pages: make(map[uint64]*aliasSlab)}
+	for i := range a.tag {
+		a.tag[i] = ^uint64(0)
+	}
+	return a
 }
 
-// set records v as the youngest store covering addr.
-func (a *aliasMap) set(addr, v uint64) {
-	page := addr >> aliasPageShift
-	if page != a.lastPage {
-		s := a.pages[page]
-		if s == nil {
-			s = new(aliasSlab)
-			a.pages[page] = s
+// setRange records v as the youngest store covering [addr, addr+n). The
+// page lookup is done once per touched page, not once per byte — accesses
+// are at most 8 bytes and almost never straddle a page.
+func (a *aliasMap) setRange(addr, n, v uint64) {
+	for n > 0 {
+		page := addr >> aliasPageShift
+		off := addr & (1<<aliasPageShift - 1)
+		c := uint64(1)<<aliasPageShift - off
+		if c > n {
+			c = n
 		}
-		a.lastPage, a.lastSlab = page, s
+		i := page & (aliasWays - 1)
+		s := a.way[i]
+		if a.tag[i] != page {
+			s = a.pages[page]
+			if s == nil {
+				s = new(aliasSlab)
+				a.pages[page] = s
+			}
+			a.tag[i], a.way[i] = page, s
+		}
+		for j := uint64(0); j < c; j++ {
+			s[off+j] = v
+		}
+		addr, n = addr+c, n-c
 	}
-	a.lastSlab[addr&(1<<aliasPageShift-1)] = v
 }
 
-// get returns the youngest store covering addr (0 if none). It never
-// allocates a slab.
-func (a *aliasMap) get(addr uint64) uint64 {
-	page := addr >> aliasPageShift
-	if page != a.lastPage {
-		s := a.pages[page]
-		if s == nil {
-			return 0
+// getMax returns the youngest store covering any byte of [addr, addr+n)
+// (0 if none). It never allocates a slab.
+func (a *aliasMap) getMax(addr, n uint64) uint64 {
+	var dep uint64
+	for n > 0 {
+		page := addr >> aliasPageShift
+		off := addr & (1<<aliasPageShift - 1)
+		c := uint64(1)<<aliasPageShift - off
+		if c > n {
+			c = n
 		}
-		a.lastPage, a.lastSlab = page, s
+		i := page & (aliasWays - 1)
+		s := a.way[i]
+		if a.tag[i] != page {
+			s = a.pages[page]
+			if s == nil {
+				addr, n = addr+c, n-c
+				continue
+			}
+			a.tag[i], a.way[i] = page, s
+		}
+		for j := uint64(0); j < c; j++ {
+			if s[off+j] > dep {
+				dep = s[off+j]
+			}
+		}
+		addr, n = addr+c, n-c
 	}
-	return a.lastSlab[addr&(1<<aliasPageShift-1)]
+	return dep
 }
