@@ -45,15 +45,18 @@ type modelBench struct {
 }
 
 type result struct {
-	GoVersion            string       `json:"go_version"`
-	GOMAXPROCS           int          `json:"gomaxprocs"`
-	Workload             string       `json:"workload"`
-	TraceRecordSeconds   float64      `json:"trace_record_seconds"`
-	Models               []modelBench `json:"models"`
-	SweepCells           int          `json:"sweep_cells"`
-	SweepSerialSeconds   float64      `json:"sweep_serial_seconds"`
-	SweepParallelSeconds float64      `json:"sweep_parallel_seconds"`
-	SweepWorkers         int          `json:"sweep_workers"`
+	GoVersion          string       `json:"go_version"`
+	GOMAXPROCS         int          `json:"gomaxprocs"`
+	Workload           string       `json:"workload"`
+	TraceRecordSeconds float64      `json:"trace_record_seconds"`
+	Models             []modelBench `json:"models"`
+	// TraceCache snapshots the harness cache counters after the per-model
+	// benchmark loop: hit/miss traffic of the replay path under test.
+	TraceCache           harness.TraceCacheStats `json:"trace_cache"`
+	SweepCells           int                     `json:"sweep_cells"`
+	SweepSerialSeconds   float64                 `json:"sweep_serial_seconds"`
+	SweepParallelSeconds float64                 `json:"sweep_parallel_seconds"`
+	SweepWorkers         int                     `json:"sweep_workers"`
 }
 
 // benchRecord times the one-off functional recording of the bench
@@ -170,6 +173,10 @@ func main() {
 			mb.Model, 1e3*mb.SecPerRun, mb.SimMIPS, mb.AllocsPerRun)
 		res.Models = append(res.Models, mb)
 	}
+	res.TraceCache = harness.ReadTraceCacheStats()
+	fmt.Fprintf(os.Stderr, "trace cache: %d hits, %d misses (%d records, %d replays, %d live)\n",
+		res.TraceCache.Hits, res.TraceCache.Misses, res.TraceCache.Records,
+		res.TraceCache.Replays, res.TraceCache.LiveFallbacks)
 	if !*skipSweep {
 		res.SweepCells = len(experiments.AllCells())
 		res.SweepWorkers = runtime.GOMAXPROCS(0)

@@ -86,7 +86,11 @@ func (r *Report) Markdown() string {
 }
 
 // rate converts a session measurement to the paper's Figure 4 metric,
-// bytes encrypted per 1000 cycles.
+// bytes encrypted per 1000 cycles. A zero-cycle run (empty session) rates
+// 0 rather than +Inf, matching the other zero-guarded derived metrics.
 func rate(bytes int, cycles uint64) float64 {
+	if cycles == 0 {
+		return 0
+	}
 	return float64(bytes) * 1000 / float64(cycles)
 }

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"time"
 
 	"cryptoarch/internal/harness"
 	"cryptoarch/internal/isa"
@@ -157,13 +158,25 @@ func effectiveWorkers(nCells int) int {
 	return n
 }
 
+// SweepProgress observes sweep execution: done of total unique cells
+// finished, the cell that just completed, and its wall time (for a cell
+// that waited on a concurrent duplicate execution, the wait is included —
+// it is that request's wall cost either way). Callbacks are serialized;
+// implementations may print without locking.
+type SweepProgress func(done, total int, c Cell, d time.Duration)
+
 // Sweep executes a grid of cells across the configured worker count.
 // Duplicate cells are executed once; cells already cached cost nothing.
 // Sweep never fails: a cell's error is cached with its slot and
 // resurfaces, deterministically, when a generator assembles the row that
 // consumes it — so report output is identical whether or not a sweep ran
 // first, and regardless of worker count.
-func Sweep(cells []Cell) {
+func Sweep(cells []Cell) { SweepObserved(cells, nil) }
+
+// SweepObserved is Sweep with a per-cell progress callback (nil behaves
+// exactly like Sweep). Timing the callback observes is observation only:
+// cell results and report bytes are identical with or without it.
+func SweepObserved(cells []Cell, progress SweepProgress) {
 	// Relax GC pacing for the duration of the sweep: recording buffers and
 	// retained traces create a large transient heap, and the default
 	// target makes the collector chase it with frequent cycles that eat
@@ -182,9 +195,26 @@ func Sweep(cells []Cell) {
 	// single-CPU host than a one-worker pool.
 	n := effectiveWorkers(len(uniq))
 	lastSweepWorkers = n
+
+	// done counts completed cells under progressMu, which also serializes
+	// the callback so progress lines never interleave.
+	var progressMu sync.Mutex
+	done := 0
+	finish := func(c Cell, d time.Duration) {
+		if progress == nil {
+			return
+		}
+		progressMu.Lock()
+		done++
+		progress(done, len(uniq), c, d)
+		progressMu.Unlock()
+	}
+
 	if n <= 1 {
 		for _, c := range uniq {
+			start := time.Now()
 			getCell(c)
+			finish(c, time.Since(start))
 		}
 		return
 	}
@@ -195,7 +225,9 @@ func Sweep(cells []Cell) {
 		go func() {
 			defer wg.Done()
 			for c := range ch {
+				start := time.Now()
 				getCell(c)
+				finish(c, time.Since(start))
 			}
 		}()
 	}

@@ -1,0 +1,21 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// TestRateZeroCycles pins the divide-by-zero audit for the Figure 4
+// metric: a zero-cycle measurement (empty session, drained run) rates 0,
+// not +Inf or NaN.
+func TestRateZeroCycles(t *testing.T) {
+	if got := rate(4096, 0); got != 0 {
+		t.Fatalf("rate(4096, 0) = %v, want 0", got)
+	}
+	if got := rate(0, 0); math.IsNaN(got) || got != 0 {
+		t.Fatalf("rate(0, 0) = %v, want 0", got)
+	}
+	if got := rate(4096, 1000); got != 4096 {
+		t.Fatalf("rate(4096, 1000) = %v, want 4096", got)
+	}
+}

@@ -106,14 +106,20 @@ func (r *releasingStream) Next() (*emu.Rec, bool) {
 	return rec, ok
 }
 
-// TraceCacheStats counts cache traffic for benchmark reporting.
+// TraceCacheStats counts cache traffic for benchmark and sweep-progress
+// reporting. Hits/Misses classify every stream request: a hit is served
+// entirely from previously recorded state; a miss pays functional
+// emulation (it recorded the trace itself, or fell back to live
+// execution). The remaining counters break the traffic down by mechanism.
 type TraceCacheStats struct {
-	Records       int           // full traces recorded
-	Replays       int           // runs served by a cached trace
-	Resumes       int           // oversized records streamed out once
-	LiveFallbacks int           // runs that re-emulated live
-	Evictions     int           // traces dropped by the LRU budget
-	RecordTime    time.Duration // wall time spent in functional recording
+	Hits          int           `json:"hits"`           // requests served from a recorded trace
+	Misses        int           `json:"misses"`         // requests that paid functional emulation
+	Records       int           `json:"records"`        // full traces recorded
+	Replays       int           `json:"replays"`        // runs served by a cached trace
+	Resumes       int           `json:"resumes"`        // oversized records streamed out once
+	LiveFallbacks int           `json:"live_fallbacks"` // runs that re-emulated live
+	Evictions     int           `json:"evictions"`      // traces dropped by the LRU budget
+	RecordTime    time.Duration `json:"record_time_ns"` // wall time spent in functional recording
 }
 
 type traceCache struct {
@@ -242,24 +248,39 @@ func (c *traceCache) stream(k traceKey) (ooo.Stream, int, error) {
 	e.lastUse = c.clock
 	c.mu.Unlock()
 
-	e.once.Do(func() { e.record(k) })
+	recorded := false
+	e.once.Do(func() { recorded = true; e.record(k) })
 	if e.err != nil {
 		return nil, 0, e.err
 	}
 
 	c.mu.Lock()
+	// Hit/miss classification: a request that triggered the recording (or
+	// re-emulates live below) paid the functional emulation — a miss; any
+	// other request rides previously recorded state — a hit.
 	if e.tr != nil {
 		c.stats.Replays++
+		if recorded {
+			c.stats.Misses++
+		} else {
+			c.stats.Hits++
+		}
 		c.mu.Unlock()
 		return e.tr.Stream(), e.codeLen, nil
 	}
 	if s := e.resume; s != nil {
 		e.resume = nil // single-use
 		c.stats.Resumes++
+		if recorded {
+			c.stats.Misses++
+		} else {
+			c.stats.Hits++
+		}
 		c.mu.Unlock()
 		return s, e.codeLen, nil
 	}
 	c.stats.LiveFallbacks++
+	c.stats.Misses++
 	c.mu.Unlock()
 
 	m, err := machineFor(k)

@@ -2,6 +2,8 @@ package isa
 
 import (
 	"fmt"
+	"io"
+	"sort"
 	"strings"
 )
 
@@ -67,18 +69,91 @@ func regName(r Reg) string {
 
 // Listing renders a whole program with labels and instruction indices.
 func Listing(p *Program) string {
+	var b strings.Builder
+	ListingTo(&b, p, nil)
+	return b.String()
+}
+
+// ListingTo writes the listing of a program to w. When annotate is
+// non-nil, its result for each instruction index is inserted between the
+// index and the disassembly — the shared formatter behind cmd/disasm
+// (annotate == nil, whose output this function preserves byte for byte)
+// and the profiler's annotated-disassembly view. Annotations should be
+// fixed-width so the instruction column stays aligned.
+func ListingTo(w io.Writer, p *Program, annotate func(idx int) string) {
 	byIdx := map[int][]string{}
 	for name, idx := range p.Labels {
 		byIdx[idx] = append(byIdx[idx], name)
 	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "; program %s: %d instructions, %d bytes rodata\n",
+	for _, ls := range byIdx {
+		sort.Strings(ls)
+	}
+	fmt.Fprintf(w, "; program %s: %d instructions, %d bytes rodata\n",
 		p.Name, len(p.Code), len(p.Rodata))
 	for i := range p.Code {
 		for _, l := range byIdx[i] {
-			fmt.Fprintf(&b, "%s:\n", l)
+			fmt.Fprintf(w, "%s:\n", l)
 		}
-		fmt.Fprintf(&b, "%5d:  %s\n", i, Disasm(&p.Code[i]))
+		if annotate != nil {
+			fmt.Fprintf(w, "%5d: %s  %s\n", i, annotate(i), Disasm(&p.Code[i]))
+		} else {
+			fmt.Fprintf(w, "%5d:  %s\n", i, Disasm(&p.Code[i]))
+		}
 	}
-	return b.String()
+}
+
+// BasicBlockStarts returns the sorted leader indices of the program's
+// basic blocks: instruction 0, every branch target, and every
+// fall-through successor of a control transfer. RET targets are dynamic
+// and contribute no leader beyond the fall-through.
+func BasicBlockStarts(p *Program) []int {
+	leaders := map[int]bool{0: true}
+	for i := range p.Code {
+		in := &p.Code[i]
+		if !P(in.Op).Branch {
+			continue
+		}
+		if in.Op != OpRET {
+			if t := int(in.Lit); t >= 0 && t < len(p.Code) {
+				leaders[t] = true
+			}
+		}
+		if i+1 < len(p.Code) {
+			leaders[i+1] = true
+		}
+	}
+	out := make([]int, 0, len(leaders))
+	for i := range leaders {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// BlockOf returns the leader of the basic block containing idx, given the
+// sorted leader list from BasicBlockStarts.
+func BlockOf(starts []int, idx int) int {
+	i := sort.SearchInts(starts, idx)
+	if i < len(starts) && starts[i] == idx {
+		return idx
+	}
+	if i == 0 {
+		return 0
+	}
+	return starts[i-1]
+}
+
+// BlockName names a basic block by its leader: the program label at the
+// leader when one exists (alphabetically first on ties), else bb_<leader>.
+func BlockName(p *Program, leader int) string {
+	var best string
+	for name, idx := range p.Labels {
+		if idx == leader && (best == "" || name < best) {
+			best = name
+		}
+	}
+	if best != "" {
+		return best
+	}
+	return fmt.Sprintf("bb_%d", leader)
 }

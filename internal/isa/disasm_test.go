@@ -1,0 +1,99 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildBranchy assembles a tiny program with a loop and a subroutine so
+// the block analysis has real structure to find.
+func buildBranchy(t *testing.T) *Program {
+	t.Helper()
+	b := NewBuilder("branchy", FeatRot)
+	b.LoadImm32(R1, 4)
+	b.Label("loop")
+	b.ADDQI(R2, 1, R2)
+	b.SUBQI(R1, 1, R1)
+	b.BNE(R1, "loop")
+	b.XOR(R2, R2, R2)
+	b.HALT()
+	return b.Build()
+}
+
+// TestListingToNilAnnotateMatchesListing pins the shared-formatter
+// contract: Listing and ListingTo(nil) are the same bytes, and each code
+// line keeps the historical "%5d:  %s" shape cmd/disasm prints.
+func TestListingToNilAnnotateMatchesListing(t *testing.T) {
+	p := buildBranchy(t)
+	var b strings.Builder
+	ListingTo(&b, p, nil)
+	if b.String() != Listing(p) {
+		t.Fatalf("ListingTo(nil) differs from Listing:\n%q\n%q", b.String(), Listing(p))
+	}
+	lines := strings.Split(Listing(p), "\n")
+	if !strings.HasPrefix(lines[0], "; program branchy: ") {
+		t.Fatalf("missing header: %q", lines[0])
+	}
+	found := false
+	for _, l := range lines[1:] {
+		if strings.HasPrefix(l, "    0:  ") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no instruction line in listing:\n%s", Listing(p))
+	}
+}
+
+// TestListingToAnnotate checks annotations land between index and
+// disassembly on every code line.
+func TestListingToAnnotate(t *testing.T) {
+	p := buildBranchy(t)
+	var b strings.Builder
+	ListingTo(&b, p, func(idx int) string { return "<A>" })
+	n := 0
+	for _, l := range strings.Split(b.String(), "\n") {
+		if strings.Contains(l, "<A>  ") {
+			n++
+		}
+	}
+	if n != len(p.Code) {
+		t.Fatalf("annotated %d lines, want %d:\n%s", n, len(p.Code), b.String())
+	}
+}
+
+// TestBasicBlocks checks leaders, block lookup and naming on the loop
+// program.
+func TestBasicBlocks(t *testing.T) {
+	p := buildBranchy(t)
+	starts := BasicBlockStarts(p)
+	if len(starts) == 0 || starts[0] != 0 {
+		t.Fatalf("leaders must start at 0: %v", starts)
+	}
+	loop := p.MustLabel("loop")
+	hasLoop := false
+	for _, s := range starts {
+		if s == loop {
+			hasLoop = true
+		}
+	}
+	if !hasLoop {
+		t.Fatalf("branch target %d (loop) is not a leader: %v", loop, starts)
+	}
+	// Every PC maps into a block whose leader is <= PC.
+	for pc := range p.Code {
+		b := BlockOf(starts, pc)
+		if b > pc {
+			t.Fatalf("BlockOf(%d) = %d, beyond the PC", pc, b)
+		}
+	}
+	if got := BlockOf(starts, loop); got != loop {
+		t.Fatalf("BlockOf(leader) = %d, want %d", got, loop)
+	}
+	if name := BlockName(p, loop); name != "loop" {
+		t.Fatalf("BlockName(loop leader) = %q", name)
+	}
+	if name := BlockName(p, 0); !strings.HasPrefix(name, "bb_") && p.Labels["start"] == 0 {
+		t.Fatalf("unexpected block-0 name %q", name)
+	}
+}

@@ -256,12 +256,23 @@ type Engine struct {
 	dportUsed    int
 	sboxPortUsed []int
 
-	// Observability (see stats.go, trace.go). The tracer is nil unless
-	// attached; accounting reads pipeline state but never changes it.
+	// Observability (see stats.go, trace.go, profile.go). The tracer and
+	// profile are nil unless attached; accounting reads pipeline state but
+	// never changes it.
 	tracer           Tracer
 	commitsThisCycle int
 	issuedThisCycle  int
 	windowFullCycle  uint64 // last cycle dispatch was blocked by a full window
+
+	// Per-PC profiling state (profile.go). profPCs is nil unless a profile
+	// is attached; profSlots additionally gates slot charging (finite
+	// widths only). commitIdxs buffers this cycle's retired PCs so account
+	// can charge their commit slots — charging in commit itself would
+	// overcount: the run's final cycle commits but is never accounted.
+	profPCs     []PCProfile
+	profSlots   bool
+	commitIdxs  []int32
+	lastRetired int32 // PC of the most recently retired instruction
 }
 
 // NewEngine creates a timing engine for cfg over src.
@@ -671,6 +682,9 @@ func (e *Engine) promoteReady() bool {
 func (e *Engine) commit() bool {
 	width := e.cfg.IssueWidth
 	n := 0
+	if e.profSlots {
+		e.commitIdxs = e.commitIdxs[:0]
+	}
 	rob, mask := e.rob, uint64(len(e.rob)-1)
 	for e.headSeq < e.tailSeq {
 		en := &rob[e.headSeq&mask]
@@ -685,6 +699,13 @@ func (e *Engine) commit() bool {
 		}
 		if e.tracer != nil {
 			e.tracer.Event(TraceCommit, e.cycle, en.seq, int(en.idx), en.inst)
+		}
+		if e.profPCs != nil {
+			e.profPCs[en.idx].Retired++
+			e.lastRetired = en.idx
+			if e.profSlots {
+				e.commitIdxs = append(e.commitIdxs, en.idx)
+			}
 		}
 		e.headSeq++
 		n++
@@ -704,10 +725,20 @@ func (e *Engine) account() {
 	sb := &e.stats.Stalls
 	n := uint64(e.commitsThisCycle)
 	sb[StallCommit] += n
+	if e.profSlots {
+		for _, idx := range e.commitIdxs {
+			e.profPCs[idx].Slots[StallCommit]++
+		}
+	}
 	if n >= uint64(width) {
 		return
 	}
-	sb[e.headBlame()] += uint64(width) - n
+	cause := e.headBlame()
+	lost := uint64(width) - n
+	sb[cause] += lost
+	if e.profSlots {
+		e.profPCs[e.blamePC()].Slots[cause] += lost
+	}
 }
 
 // headBlame picks the stall cause for this cycle's unused commit slots.
@@ -956,6 +987,9 @@ func (e *Engine) issue() bool {
 		en.state = stIssued
 		en.issueDelayed = e.cycle > uint64(en.readyCycle)
 		lat := e.latency(en)
+		if e.profPCs != nil {
+			e.profPCs[en.idx].ExecCycles += lat
+		}
 		en.doneCycle = uint32(e.cycle + lat)
 		e.completions.schedule(e.cycle, uint64(en.doneCycle), bestSeq)
 		issued++
