@@ -32,9 +32,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	prog := k.Build(feat)
+	build := k.Build
 	if *setup {
-		prog = k.BuildSetup(feat)
+		if k.BuildSetup == nil {
+			fmt.Fprintf(os.Stderr, "disasm: %s has no key-setup program\n", k.Name)
+			os.Exit(1)
+		}
+		build = k.BuildSetup
 	}
-	fmt.Print(isa.Listing(prog))
+	fmt.Print(isa.Listing(build(feat)))
 }

@@ -1,0 +1,61 @@
+// Command simcheck runs the differential self-check: every cipher kernel,
+// at every requested instruction-set level, is executed through the
+// functional emulator on randomized sessions and compared byte-for-byte
+// against the pure-Go golden ciphers, including decrypt round-trips. It
+// exits non-zero on any divergence, so CI (and anyone about to trust a
+// sweep) can verify the emulator/kernel stack end to end in seconds.
+//
+// Usage:
+//
+//	go run ./cmd/simcheck [-n trials] [-seed N] [-maxbytes N]
+//	    [-ciphers a,b,...] [-isa norot,rot,opt] [-nodecrypt]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cryptoarch/internal/harness"
+	"cryptoarch/internal/isa"
+)
+
+func main() {
+	trials := flag.Int("n", 3, "randomized sessions per cipher x ISA level")
+	seed := flag.Int64("seed", 1, "base seed (each cell derives its own)")
+	maxBytes := flag.Int("maxbytes", 1024, "session length bound in bytes")
+	cipherList := flag.String("ciphers", "", "comma-separated ciphers (default: all)")
+	isaList := flag.String("isa", "norot,rot,opt", "comma-separated instruction-set levels")
+	noDecrypt := flag.Bool("nodecrypt", false, "skip decrypt round-trips")
+	flag.Parse()
+
+	opts := harness.SelfCheckOptions{
+		Trials:   *trials,
+		Seed:     *seed,
+		MaxBytes: *maxBytes,
+		Decrypt:  !*noDecrypt,
+	}
+	if *cipherList != "" {
+		opts.Ciphers = strings.Split(*cipherList, ",")
+	}
+	for _, name := range strings.Split(*isaList, ",") {
+		feat, err := isa.ParseFeature(strings.TrimSpace(name))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		opts.Feats = append(opts.Feats, feat)
+	}
+
+	res, err := harness.SelfCheck(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := res.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("simcheck: %d emulated sessions, all byte-identical to the golden ciphers\n", res.Runs)
+}

@@ -1,0 +1,73 @@
+// Package check is the robustness layer shared by the emulator, the
+// timing engine and the harness: structured invariant-violation and
+// budget-exceeded errors, a deterministic seed-driven fault injector used
+// by the detection-coverage tests, and small input-validation helpers.
+//
+// The package is a leaf — it imports nothing from the rest of the tree —
+// so every layer (emu, ooo, harness, kernels, cmd) can report through it
+// without import cycles. The paper's numbers are only meaningful if the
+// kernels are functionally correct and the cycle accounting is internally
+// consistent; this package gives every internal consistency failure one
+// typed, grep-able shape instead of a corrupted Stats struct or a panic.
+package check
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Violation is a structured invariant-violation error produced by checked
+// mode (ooo.Config.Checked) and the harness self-checks. Check names are
+// stable identifiers (e.g. "rob-entry", "slot-accounting"): tests assert
+// on them to prove each injected fault class is caught by the checker
+// that owns it.
+type Violation struct {
+	Check  string // which checker fired (stable identifier)
+	Cycle  uint64 // simulated cycle at detection (0 if not cycle-driven)
+	Detail string // human-readable specifics
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	if v.Cycle != 0 {
+		return fmt.Sprintf("check: %s invariant violated at cycle %d: %s", v.Check, v.Cycle, v.Detail)
+	}
+	return fmt.Sprintf("check: %s invariant violated: %s", v.Check, v.Detail)
+}
+
+// Violationf builds a Violation with a formatted detail string.
+func Violationf(checkName string, cycle uint64, format string, args ...any) *Violation {
+	return &Violation{Check: checkName, Cycle: cycle, Detail: fmt.Sprintf(format, args...)}
+}
+
+// AsViolation unwraps err to a Violation if one is in its chain.
+func AsViolation(err error) (*Violation, bool) {
+	var v *Violation
+	if errors.As(err, &v) {
+		return v, true
+	}
+	return nil, false
+}
+
+// BudgetError reports that a run exceeded its resource budget — the
+// runaway guard that turns a mis-built kernel (an infinite loop, a
+// corrupted branch target) into a diagnosable error instead of a hung
+// sweep.
+type BudgetError struct {
+	Resource string // "instructions" or "cycles"
+	Subject  string // program or machine-model name
+	Limit    uint64
+	Used     uint64
+}
+
+// Error implements error.
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("check: %s exceeded its %s budget (%d used, limit %d)",
+		e.Subject, e.Resource, e.Used, e.Limit)
+}
+
+// IsBudget reports whether err's chain contains a BudgetError.
+func IsBudget(err error) bool {
+	var b *BudgetError
+	return errors.As(err, &b)
+}

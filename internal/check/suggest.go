@@ -1,0 +1,52 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Suggest formats an unknown-name error suffix with a did-you-mean hint:
+// the closest valid name by edit distance (when it is close enough to be
+// a plausible typo) plus the sorted list of valid names. It returns, e.g.:
+//
+//	` (did you mean "blowfish"? valid: 3des, blowfish, ...)`
+//
+// so callers can append it directly to their error message.
+func Suggest(name string, valid []string) string {
+	best, bestDist := "", int(^uint(0)>>1)
+	for _, v := range valid {
+		if d := editDistance(strings.ToLower(name), strings.ToLower(v)); d < bestDist {
+			best, bestDist = v, d
+		}
+	}
+	list := strings.Join(valid, ", ")
+	// A suggestion further than 1/2 the name length away is noise.
+	if best != "" && bestDist <= max(2, len(name)/2) {
+		return fmt.Sprintf(" (did you mean %q? valid: %s)", best, list)
+	}
+	return fmt.Sprintf(" (valid: %s)", list)
+}
+
+// editDistance is the Levenshtein distance between a and b.
+func editDistance(a, b string) int {
+	if a == b {
+		return 0
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(prev[j]+1, min(cur[j-1]+1, prev[j-1]+cost))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}

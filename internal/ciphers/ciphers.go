@@ -9,6 +9,8 @@ package ciphers
 import (
 	"fmt"
 	"sort"
+
+	"cryptoarch/internal/check"
 )
 
 // Block is a block cipher with a fixed block size.
@@ -61,7 +63,7 @@ func Register(c *Cipher) {
 func Lookup(name string) (*Cipher, error) {
 	c, ok := registry[name]
 	if !ok {
-		return nil, fmt.Errorf("ciphers: unknown cipher %q", name)
+		return nil, fmt.Errorf("ciphers: unknown cipher %q%s", name, check.Suggest(name, Names()))
 	}
 	return c, nil
 }

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math/big"
+	"testing"
+)
+
+// Fuzz targets for the crypto-extension reference semantics. Every kernel
+// and the timing model's operand routing rest on these three functions;
+// the fuzzers pin them against independent formulations (big-integer
+// arithmetic for MULMOD, a naive bit walk for XBOX, algebraic properties
+// for SBOX addressing) so a regression cannot hide in the corner cases
+// the unit tests happen to miss.
+
+// FuzzMulMod checks MulMod against direct big-integer arithmetic in the
+// IDEA group: operands are the low 16 bits with 0 standing for 2^16, the
+// product is reduced mod 2^16+1, and the result 2^16 is encoded as 0.
+func FuzzMulMod(f *testing.F) {
+	f.Add(uint64(0), uint64(0))
+	f.Add(uint64(0), uint64(1))
+	f.Add(uint64(0xffff), uint64(0xffff))
+	f.Add(uint64(0x12345), uint64(0xabcde)) // high bits must be ignored
+	f.Fuzz(func(t *testing.T, a, b uint64) {
+		x := int64(uint16(a))
+		if x == 0 {
+			x = 1 << 16
+		}
+		y := int64(uint16(b))
+		if y == 0 {
+			y = 1 << 16
+		}
+		m := new(big.Int).Mul(big.NewInt(x), big.NewInt(y))
+		want := m.Mod(m, big.NewInt(1<<16+1)).Uint64()
+		if want == 1<<16 {
+			want = 0
+		}
+		if got := MulMod(a, b); got != want {
+			t.Fatalf("MulMod(%#x, %#x) = %#x, want %#x", a, b, got, want)
+		}
+	})
+}
+
+// xboxNaive is an independent bit-by-bit restatement of the XBOX spec:
+// result bit base+j is bit pmap[6j:6j+6] of src.
+func xboxNaive(src, pmap uint64, dstByte uint8) uint64 {
+	var out uint64
+	for j := 0; j < 8; j++ {
+		sel := int(pmap>>(6*j)) & 0x3f
+		if src&(1<<sel) != 0 {
+			out |= 1 << (8*int(dstByte&7) + j)
+		}
+	}
+	return out
+}
+
+func FuzzXbox(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint8(0))
+	f.Add(^uint64(0), ^uint64(0), uint8(7))
+	f.Add(uint64(0x0123456789abcdef), uint64(0x820820820820820), uint8(3))
+	f.Fuzz(func(t *testing.T, src, pmap uint64, dstByte uint8) {
+		got, want := Xbox(src, pmap, dstByte), xboxNaive(src, pmap, dstByte)
+		if got != want {
+			t.Fatalf("Xbox(%#x, %#x, %d) = %#x, want %#x", src, pmap, dstByte, got, want)
+		}
+		// Only the selected destination byte may be populated.
+		if got>>(8*uint(dstByte&7))&^uint64(0xff) != 0 || got&^(uint64(0xff)<<(8*uint(dstByte&7))) != 0 {
+			t.Fatalf("Xbox(%#x, %#x, %d) = %#x leaks outside destination byte", src, pmap, dstByte, got)
+		}
+	})
+}
+
+// FuzzSboxAddr checks the SBOX address generator's algebraic properties:
+// the result stays inside the table the base names, is 4-byte aligned,
+// selects exactly the indexed byte of the index operand, and ignores the
+// unaligned bits of the base.
+func FuzzSboxAddr(f *testing.F) {
+	f.Add(uint64(0x20000), uint64(0xdeadbeefcafef00d), uint8(0))
+	f.Add(uint64(0x2abc3), uint64(0), uint8(9)) // unaligned base, wrapped sel
+	f.Fuzz(func(t *testing.T, base, index uint64, byteSel uint8) {
+		got := SboxAddr(base, index, byteSel)
+		alignedBase := base & SboxAlignMask
+		if got&SboxAlignMask != alignedBase {
+			t.Fatalf("SboxAddr(%#x, %#x, %d) = %#x left the table at %#x", base, index, byteSel, got, alignedBase)
+		}
+		if got-alignedBase >= SboxTableBytes {
+			t.Fatalf("SboxAddr(%#x, %#x, %d) = %#x beyond the table", base, index, byteSel, got)
+		}
+		if got%4 != 0 {
+			t.Fatalf("SboxAddr(%#x, %#x, %d) = %#x not word-aligned", base, index, byteSel, got)
+		}
+		wantIdx := (index >> (8 * uint(byteSel&7))) & 0xff
+		if (got-alignedBase)>>2 != wantIdx {
+			t.Fatalf("SboxAddr(%#x, %#x, %d) selected entry %d, want %d",
+				base, index, byteSel, (got-alignedBase)>>2, wantIdx)
+		}
+		if got != SboxAddr(alignedBase, index, byteSel) {
+			t.Fatal("unaligned base bits changed the address")
+		}
+	})
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"cryptoarch/internal/check"
 	"cryptoarch/internal/core"
 	"cryptoarch/internal/isa"
 	"cryptoarch/internal/simmem"
@@ -40,7 +41,8 @@ type Machine struct {
 
 	code   []isa.Inst // Prog.Code, hoisted off the Step hot path
 	halted bool
-	rec    Rec // scratch record, reused across Step calls
+	err    error // terminal fault; the machine halts when set
+	rec    Rec   // scratch record, reused across Step calls
 }
 
 // DefaultMaxInsts bounds a single program run.
@@ -65,8 +67,23 @@ func (m *Machine) SetArgs(a0, a1, a2, a3 uint64) {
 	m.R[isa.RA3] = a3
 }
 
-// Halted reports whether the program has executed HALT.
+// Halted reports whether the program has stopped — by executing HALT or
+// by faulting (see Err).
 func (m *Machine) Halted() bool { return m.halted }
+
+// Err returns the terminal fault of the run, if any: the instruction
+// budget was exceeded (a *check.BudgetError), the PC left the program, or
+// an unimplemented opcode was reached. A machine that executed HALT
+// normally returns nil. Once a fault is recorded Step returns nil, so
+// stream consumers observe end-of-stream and must consult Err to tell a
+// completed run from a faulted one.
+func (m *Machine) Err() error { return m.err }
+
+// fail records a terminal fault and halts the machine.
+func (m *Machine) fail(err error) {
+	m.err = err
+	m.halted = true
+}
 
 func (m *Machine) src2(i *isa.Inst) uint64 {
 	if i.UseLit {
@@ -83,17 +100,27 @@ func (m *Machine) write(r isa.Reg, v uint64) uint64 {
 }
 
 // Step executes one instruction and returns its trace record. The returned
-// pointer is only valid until the next Step call. Returns nil once halted.
+// pointer is only valid until the next Step call. Returns nil once halted —
+// either by HALT or by a terminal fault, which Err distinguishes.
 func (m *Machine) Step() *Rec {
 	if m.halted {
 		return nil
 	}
 	code := m.code
 	if uint(m.PC) >= uint(len(code)) {
-		panic(fmt.Sprintf("emu: program %s: PC %d out of range", m.Prog.Name, m.PC))
+		m.fail(fmt.Errorf("emu: program %s: PC %d out of range [0,%d)", m.Prog.Name, m.PC, len(code)))
+		return nil
 	}
-	if m.Icount >= m.MaxInsts {
-		panic(fmt.Sprintf("emu: program %s exceeded %d instructions", m.Prog.Name, m.MaxInsts))
+	limit := m.MaxInsts
+	if limit == 0 {
+		limit = DefaultMaxInsts
+	}
+	if m.Icount >= limit {
+		m.fail(&check.BudgetError{
+			Resource: "instructions", Subject: "program " + m.Prog.Name,
+			Limit: limit, Used: m.Icount,
+		})
+		return nil
 	}
 	i := &code[m.PC]
 	r := &m.rec
@@ -265,7 +292,8 @@ func (m *Machine) Step() *Rec {
 		r.Val = m.write(i.Rc, core.Xbox(m.R[i.Ra], m.R[i.Rb], i.Sel1))
 
 	default:
-		panic(fmt.Sprintf("emu: program %s: unimplemented op %v at %d", m.Prog.Name, i.Op, m.PC))
+		m.fail(fmt.Errorf("emu: program %s: unimplemented op %v at %d", m.Prog.Name, i.Op, m.PC))
+		return nil
 	}
 
 	m.PC = next
@@ -273,8 +301,9 @@ func (m *Machine) Step() *Rec {
 	return r
 }
 
-// Run executes until HALT, invoking fn (if non-nil) for each retired
-// instruction, and returns the number of instructions executed.
+// Run executes until HALT or a terminal fault (check Err afterwards),
+// invoking fn (if non-nil) for each retired instruction, and returns the
+// number of instructions executed.
 func (m *Machine) Run(fn func(*Rec)) uint64 {
 	start := m.Icount
 	for {

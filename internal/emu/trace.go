@@ -3,6 +3,7 @@ package emu
 import (
 	"fmt"
 
+	"cryptoarch/internal/check"
 	"cryptoarch/internal/isa"
 )
 
@@ -39,6 +40,68 @@ type Trace struct {
 // Bytes is the retained size of the packed records.
 func (t *Trace) Bytes() int { return TraceRecBytes * len(t.Recs) }
 
+// FNV-1a 64-bit parameters.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// ChecksumRecs computes the FNV-1a 64-bit checksum of the packed records,
+// hashing the 16-byte little-endian encoding of each record. The trace
+// cache stores this at record time and re-verifies it on every replay
+// request, so a bit flipped in a retained trace (memory corruption, a
+// stray write through a stale slice) is caught before it silently skews a
+// timing run.
+func ChecksumRecs(recs []TraceRec) uint64 {
+	h := fnvOffset
+	for i := range recs {
+		r := &recs[i]
+		for _, w := range [2]uint64{r.Addr, uint64(r.Idx) | uint64(r.Br)<<32} {
+			for b := 0; b < 8; b++ {
+				h ^= w >> (8 * b) & 0xff
+				h *= fnvPrime
+			}
+		}
+	}
+	return h
+}
+
+// Checksum is ChecksumRecs over the trace's records.
+func (t *Trace) Checksum() uint64 { return ChecksumRecs(t.Recs) }
+
+// Validate structurally checks the trace against its program: every
+// record must index a real instruction, branch outcomes may only appear
+// on branches, and branch targets must stay inside the program. A valid
+// trace is safe to replay; Validate is the decode-side guard fuzzed in
+// fuzz_test.go and is how corrupted traces fail loudly instead of
+// replaying garbage.
+func (t *Trace) Validate() error {
+	n := len(t.Prog.Code)
+	for i := range t.Recs {
+		pr := &t.Recs[i]
+		if int(pr.Idx) >= n {
+			return check.Violationf("trace-decode", 0,
+				"record %d: PC %d outside program %s [0,%d)", i, pr.Idx, t.Prog.Name, n)
+		}
+		p := isa.P(t.Prog.Code[pr.Idx].Op)
+		if pr.Br != 0 {
+			if !p.Branch {
+				return check.Violationf("trace-decode", 0,
+					"record %d: branch outcome %#x on non-branch %s at PC %d", i, pr.Br, p.Name, pr.Idx)
+			}
+			if targ := int(pr.Br >> 1); targ >= n {
+				return check.Violationf("trace-decode", 0,
+					"record %d: branch target %d outside program %s [0,%d)", i, targ, t.Prog.Name, n)
+			}
+		}
+		if pr.Addr != 0 && !p.Mem {
+			return check.Violationf("trace-decode", 0,
+				"record %d: effective address %#x on non-memory %s at PC %d", i, pr.Addr, p.Name, pr.Idx)
+		}
+	}
+	return nil
+}
+
 // pack encodes the dynamic half of one retired-instruction record.
 func pack(r *Rec) TraceRec {
 	pr := TraceRec{Addr: r.Addr, Idx: uint32(r.Idx)}
@@ -59,6 +122,9 @@ func pack(r *Rec) TraceRec {
 // capacity is reused). It returns the trace and whether the program ran to
 // completion. On false the trace is a prefix and m is positioned exactly
 // after the last recorded instruction, so Resume can continue it live.
+// A machine that faults (m.Err() != nil — budget exceeded, runaway PC)
+// reports complete == false; callers must consult m.Err() before retaining
+// the truncated trace.
 func Record(m *Machine, max int, buf []TraceRec) (*Trace, bool) {
 	for {
 		if max > 0 && len(buf) >= max {
@@ -66,7 +132,7 @@ func Record(m *Machine, max int, buf []TraceRec) (*Trace, bool) {
 		}
 		r := m.Step()
 		if r == nil {
-			return &Trace{Prog: m.Prog, Recs: buf}, true
+			return &Trace{Prog: m.Prog, Recs: buf}, m.Err() == nil
 		}
 		buf = append(buf, pack(r))
 	}
@@ -140,3 +206,8 @@ func (s *ResumeStream) Next() (*Rec, bool) {
 	}
 	return r, true
 }
+
+// Err surfaces a terminal fault of the live machine behind the stream, so
+// a budget-exceeded resume run fails the timing engine instead of
+// silently truncating the session.
+func (s *ResumeStream) Err() error { return s.m.Err() }

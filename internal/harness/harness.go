@@ -6,6 +6,7 @@
 package harness
 
 import (
+	"fmt"
 	"math/rand"
 
 	"cryptoarch/internal/ciphers"
@@ -19,19 +20,30 @@ import (
 // a seed.
 type Workload struct {
 	Cipher string
+	Seed   int64 // the seed the session was derived from
 	Key    []byte
 	IV     []byte
 	Plain  []byte
 }
 
-// NewWorkload builds a session workload for a cipher.
+// NewWorkload builds a session workload for a cipher. The session length
+// must be positive and, for block ciphers, a whole number of blocks —
+// CBC has no partial-block semantics here, and an unchecked length would
+// surface as a panic deep inside the golden model.
 func NewWorkload(cipher string, sessionBytes int, seed int64) (*Workload, error) {
 	k, err := kernels.Get(cipher)
 	if err != nil {
 		return nil, err
 	}
+	if sessionBytes <= 0 {
+		return nil, fmt.Errorf("harness: session length %d bytes: must be positive", sessionBytes)
+	}
+	if k.BlockBytes > 1 && sessionBytes%k.BlockBytes != 0 {
+		return nil, fmt.Errorf("harness: session length %d bytes: %s works in %d-byte blocks",
+			sessionBytes, cipher, k.BlockBytes)
+	}
 	rng := rand.New(rand.NewSource(seed))
-	w := &Workload{Cipher: cipher}
+	w := &Workload{Cipher: cipher, Seed: seed}
 	w.Key = make([]byte, k.KeyBytes)
 	rng.Read(w.Key)
 	if k.BlockBytes > 1 {

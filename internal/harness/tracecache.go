@@ -1,10 +1,12 @@
 package harness
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"time"
 
+	"cryptoarch/internal/check"
 	"cryptoarch/internal/emu"
 	"cryptoarch/internal/isa"
 	"cryptoarch/internal/kernels"
@@ -43,6 +45,7 @@ type traceEntry struct {
 	once sync.Once
 
 	tr      *emu.Trace // complete trace; nil if oversized or errored
+	sum     uint64     // FNV-1a checksum of tr.Recs at record time
 	codeLen int        // static code length (for I-cache warming)
 	err     error
 
@@ -106,20 +109,35 @@ func (r *releasingStream) Next() (*emu.Rec, bool) {
 	return rec, ok
 }
 
+// Err passes a terminal machine fault of the wrapped stream through to the
+// timing engine.
+func (r *releasingStream) Err() error {
+	if f, ok := r.s.(interface{ Err() error }); ok {
+		return f.Err()
+	}
+	return nil
+}
+
 // TraceCacheStats counts cache traffic for benchmark and sweep-progress
 // reporting. Hits/Misses classify every stream request: a hit is served
 // entirely from previously recorded state; a miss pays functional
 // emulation (it recorded the trace itself, or fell back to live
 // execution). The remaining counters break the traffic down by mechanism.
 type TraceCacheStats struct {
-	Hits          int           `json:"hits"`           // requests served from a recorded trace
-	Misses        int           `json:"misses"`         // requests that paid functional emulation
-	Records       int           `json:"records"`        // full traces recorded
-	Replays       int           `json:"replays"`        // runs served by a cached trace
-	Resumes       int           `json:"resumes"`        // oversized records streamed out once
-	LiveFallbacks int           `json:"live_fallbacks"` // runs that re-emulated live
-	Evictions     int           `json:"evictions"`      // traces dropped by the LRU budget
-	RecordTime    time.Duration `json:"record_time_ns"` // wall time spent in functional recording
+	Hits          int `json:"hits"`           // requests served from a recorded trace
+	Misses        int `json:"misses"`         // requests that paid functional emulation
+	Records       int `json:"records"`        // full traces recorded
+	Replays       int `json:"replays"`        // runs served by a cached trace
+	Resumes       int `json:"resumes"`        // oversized records streamed out once
+	LiveFallbacks int `json:"live_fallbacks"` // runs that re-emulated live
+	Evictions     int `json:"evictions"`      // traces dropped by the LRU budget
+	// ChecksumEvictions counts retained traces whose FNV-1a checksum no
+	// longer matched the record-time sum when a replay was requested.
+	// Each such trace is dropped and re-recorded once; a second mismatch
+	// fails the request. Nonzero means memory corruption (or a stray
+	// write through a stale slice) was caught before it skewed a run.
+	ChecksumEvictions int           `json:"checksum_evictions"`
+	RecordTime        time.Duration `json:"record_time_ns"` // wall time spent in functional recording
 }
 
 type traceCache struct {
@@ -177,6 +195,11 @@ func machineFor(k traceKey) (*emu.Machine, error) {
 	return m, err
 }
 
+// recordMaxInsts overrides the instruction budget of recording machines
+// (0 = the emulator's default guard). Tests lower it to exercise the
+// budget-fault path without minutes of emulation.
+var recordMaxInsts uint64
+
 // record runs the functional emulation for e (singleflight body).
 func (e *traceEntry) record(k traceKey) {
 	start := time.Now()
@@ -184,6 +207,9 @@ func (e *traceEntry) record(k traceKey) {
 	if err != nil {
 		e.err = err
 		return
+	}
+	if recordMaxInsts != 0 {
+		m.MaxInsts = recordMaxInsts
 	}
 	e.codeLen = len(m.Prog.Code)
 	tr, complete := emu.Record(m, maxTraceInsts, getRecBuf())
@@ -193,6 +219,14 @@ func (e *traceEntry) record(k traceKey) {
 	defer traces.mu.Unlock()
 	traces.stats.RecordTime += elapsed
 	if !complete {
+		if ferr := m.Err(); ferr != nil {
+			// The machine faulted (instruction budget, runaway PC): the
+			// prefix is not a session, so fail the key instead of caching
+			// or resuming a truncated stream.
+			putRecBuf(tr.Recs)
+			e.err = fmt.Errorf("harness: recording %s: %w", k.cipher, ferr)
+			return
+		}
 		// Too large to retain: the recorded prefix plus the still-running
 		// machine serve exactly one stream (which returns the borrowed
 		// buffer when drained), then the entry marks the key as live-only.
@@ -206,6 +240,7 @@ func (e *traceEntry) record(k traceKey) {
 	tr = &emu.Trace{Prog: tr.Prog, Recs: recs}
 	traces.stats.Records++
 	e.tr = tr
+	e.sum = tr.Checksum()
 	traces.bytes += tr.Bytes()
 	traces.evictLocked()
 }
@@ -238,6 +273,12 @@ func (c *traceCache) evictLocked() {
 // instruction stream, plus the static code length for I-cache warming.
 // Cached keys replay without re-running the emulator.
 func (c *traceCache) stream(k traceKey) (ooo.Stream, int, error) {
+	return c.streamChecked(k, false)
+}
+
+// streamChecked is stream with the retry-once state of the checksum
+// recovery path made explicit.
+func (c *traceCache) streamChecked(k traceKey, retried bool) (ooo.Stream, int, error) {
 	c.mu.Lock()
 	e := c.entries[k]
 	if e == nil {
@@ -258,7 +299,30 @@ func (c *traceCache) stream(k traceKey) (ooo.Stream, int, error) {
 	// Hit/miss classification: a request that triggered the recording (or
 	// re-emulates live below) paid the functional emulation — a miss; any
 	// other request rides previously recorded state — a hit.
-	if e.tr != nil {
+	if tr := e.tr; tr != nil {
+		sum := e.sum
+		c.mu.Unlock()
+		// Re-verify the record-time checksum (outside the lock — the trace
+		// is immutable by contract, this is exactly the check that catches
+		// someone breaking that contract). On mismatch drop the entry and
+		// re-record once; a second mismatch means the corruption is not in
+		// the retained bytes and the request fails loudly.
+		if tr.Checksum() != sum {
+			c.mu.Lock()
+			c.stats.ChecksumEvictions++
+			if c.entries[k] == e {
+				delete(c.entries, k)
+				c.bytes -= tr.Bytes()
+			}
+			c.mu.Unlock()
+			if retried {
+				return nil, 0, check.Violationf("cached-trace", 0,
+					"trace %s/%v corrupted again after re-record (sum %#x, want %#x)",
+					k.cipher, k.feat, tr.Checksum(), sum)
+			}
+			return c.streamChecked(k, true)
+		}
+		c.mu.Lock()
 		c.stats.Replays++
 		if recorded {
 			c.stats.Misses++
@@ -266,7 +330,7 @@ func (c *traceCache) stream(k traceKey) (ooo.Stream, int, error) {
 			c.stats.Hits++
 		}
 		c.mu.Unlock()
-		return e.tr.Stream(), e.codeLen, nil
+		return tr.Stream(), e.codeLen, nil
 	}
 	if s := e.resume; s != nil {
 		e.resume = nil // single-use

@@ -1,0 +1,93 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"cryptoarch/internal/check"
+	"cryptoarch/internal/isa"
+	"cryptoarch/internal/ooo"
+)
+
+// Fault injection for the cached-trace checksum: flip one bit in a
+// retained trace and prove the next replay request detects it, drops the
+// entry, re-records, and serves correct data.
+
+// recordedEntry records one small session and returns its cache entry.
+func recordedEntry(t *testing.T, seed int64) (traceKey, *traceEntry) {
+	t.Helper()
+	k := traceKey{cipher: "blowfish", feat: isa.FeatRot, session: 512, seed: seed, mode: modeEncrypt}
+	if _, _, err := traces.stream(k); err != nil {
+		t.Fatal(err)
+	}
+	traces.mu.Lock()
+	e := traces.entries[k]
+	traces.mu.Unlock()
+	if e == nil || e.tr == nil {
+		t.Fatal("session was not retained as a trace")
+	}
+	return k, e
+}
+
+func TestCachedTraceChecksumRecovery(t *testing.T) {
+	ResetTraceCache()
+	defer ResetTraceCache()
+	k, e := recordedEntry(t, 11)
+	wantInsts := len(e.tr.Recs)
+
+	in := check.NewInjector(17)
+	idx := in.Intn(len(e.tr.Recs))
+	e.tr.Recs[idx].Addr ^= 1 << uint(in.Intn(64))
+	in.Note(check.FaultCachedTrace)
+	t.Logf("flipped an address bit in record %d of %d", idx, wantInsts)
+
+	// The next request must detect the corruption, evict, re-record, and
+	// hand out a full-length clean replay.
+	src, _, err := traces.stream(k)
+	if err != nil {
+		t.Fatalf("stream after corruption: %v", err)
+	}
+	ss, ok := src.(ooo.SizedStream)
+	if !ok || ss.InstCount() != wantInsts {
+		t.Fatalf("recovered stream has %T/%d instructions, want replay of %d", src, ss.InstCount(), wantInsts)
+	}
+	st := ReadTraceCacheStats()
+	if st.ChecksumEvictions != 1 {
+		t.Fatalf("ChecksumEvictions = %d, want 1 (stats: %+v)", st.ChecksumEvictions, st)
+	}
+	if st.Records != 2 {
+		t.Fatalf("Records = %d, want the original plus the re-record", st.Records)
+	}
+
+	// The re-recorded entry is clean: further requests are plain hits.
+	if _, _, err := traces.stream(k); err != nil {
+		t.Fatal(err)
+	}
+	if st := ReadTraceCacheStats(); st.ChecksumEvictions != 1 {
+		t.Fatalf("clean replay bumped ChecksumEvictions: %+v", st)
+	}
+}
+
+// TestCachedTracePersistentCorruption pins the retry bound: when the
+// re-recorded trace is corrupted again, the request fails with a
+// cached-trace violation instead of looping.
+func TestCachedTracePersistentCorruption(t *testing.T) {
+	ResetTraceCache()
+	defer ResetTraceCache()
+	k, e := recordedEntry(t, 13)
+
+	in := check.NewInjector(19)
+	e.tr.Recs[in.Intn(len(e.tr.Recs))].Idx ^= 1 << uint(in.Intn(16))
+	// Claim this request already paid its retry; the mismatch must fail.
+	_, _, err := traces.streamChecked(k, true)
+	if err == nil {
+		t.Fatal("persistently corrupted trace served a stream")
+	}
+	v, ok := check.AsViolation(err)
+	if !ok || v.Check != "cached-trace" {
+		t.Fatalf("err = %v, want a cached-trace violation", err)
+	}
+	if !strings.Contains(err.Error(), "blowfish") {
+		t.Fatalf("violation %q does not name the trace", err)
+	}
+}

@@ -1,0 +1,34 @@
+package kernels
+
+import (
+	"strings"
+	"testing"
+
+	"cryptoarch/internal/isa"
+)
+
+// TestBuildSafeConvertsPanics pins the API-boundary contract: a kernel
+// builder that panics (malformed macro, undefined label) surfaces as an
+// error from NewRun and friends, not a process crash.
+func TestBuildSafeConvertsPanics(t *testing.T) {
+	broken := func(isa.Feature) *isa.Program {
+		b := isa.NewBuilder("broken", isa.FeatNoRot)
+		b.BR("nowhere") // undefined label: Build panics
+		return b.Build()
+	}
+	_, err := buildSafe("broken", broken, isa.FeatNoRot)
+	if err == nil {
+		t.Fatal("builder panic not converted to an error")
+	}
+	if !strings.Contains(err.Error(), "building broken") {
+		t.Fatalf("err = %v, want kernel attribution", err)
+	}
+
+	k, err := Get("blowfish")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := buildSafe(k.Name, k.Build, isa.FeatOpt); err != nil {
+		t.Fatalf("healthy builder reported an error: %v", err)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 
+	"cryptoarch/internal/check"
 	"cryptoarch/internal/emu"
 	"cryptoarch/internal/isa"
 	"cryptoarch/internal/simmem"
@@ -82,9 +83,22 @@ func register(k *Kernel) {
 func Get(name string) (*Kernel, error) {
 	k, ok := registry[name]
 	if !ok {
-		return nil, fmt.Errorf("kernels: no kernel for cipher %q", name)
+		return nil, fmt.Errorf("kernels: no kernel for cipher %q%s", name, check.Suggest(name, Names()))
 	}
 	return k, nil
+}
+
+// buildSafe assembles a program, converting builder panics (malformed
+// macro expansion, undefined label, bad feature gating) into errors at the
+// API boundary so a broken kernel fails a run or a sweep cell instead of
+// crashing the process.
+func buildSafe(name string, build func(isa.Feature) *isa.Program, feat isa.Feature) (prog *isa.Program, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("kernels: building %s at %v: %v", name, feat, r)
+		}
+	}()
+	return build(feat), nil
 }
 
 // Names lists registered kernels, sorted.
@@ -110,7 +124,10 @@ func NewRun(k *Kernel, feat isa.Feature, key, iv, plaintext []byte) (*emu.Machin
 		return nil, nil, err
 	}
 	mem.WriteBytes(InAddr, plaintext)
-	prog := k.Build(feat)
+	prog, err := buildSafe(k.Name, k.Build, feat)
+	if err != nil {
+		return nil, nil, err
+	}
 	m := emu.New(prog, mem, RodataAddr)
 	m.SetArgs(InAddr, OutAddr, uint64(len(plaintext)), CtxAddr)
 	return m, mem, nil
@@ -136,7 +153,10 @@ func NewDecRun(k *Kernel, feat isa.Feature, key, iv, ciphertext []byte) (*emu.Ma
 		return nil, nil, err
 	}
 	mem.WriteBytes(InAddr, ciphertext)
-	prog := k.BuildDec(feat)
+	prog, err := buildSafe(k.Name, k.BuildDec, feat)
+	if err != nil {
+		return nil, nil, err
+	}
 	m := emu.New(prog, mem, RodataAddr)
 	m.SetArgs(InAddr, OutAddr, uint64(len(ciphertext)), CtxAddr)
 	return m, mem, nil
@@ -152,7 +172,10 @@ func NewSetupRun(k *Kernel, feat isa.Feature, key, iv []byte) (*emu.Machine, *si
 	if err := k.InitKeyOnly(mem, CtxAddr, key, iv); err != nil {
 		return nil, nil, err
 	}
-	prog := k.BuildSetup(feat)
+	prog, err := buildSafe(k.Name, k.BuildSetup, feat)
+	if err != nil {
+		return nil, nil, err
+	}
 	m := emu.New(prog, mem, RodataAddr)
 	m.SetArgs(0, 0, uint64(len(key)), CtxAddr)
 	return m, mem, nil

@@ -46,6 +46,20 @@ type Config struct {
 	// SBox caches (the 4W+ / 8W+ feature).
 	NumSboxCaches  int // tables beyond this use D-cache ports
 	SboxCachePorts int // ports per SBox cache
+
+	// Checked enables per-cycle invariant validation (see invariants.go):
+	// the engine verifies reorder-buffer, scoreboard, calendar-queue,
+	// store-ordering and slot-accounting consistency every cycle and
+	// returns a structured *check.Violation from Run at the first
+	// inconsistency, instead of running on over corrupted state. Off by
+	// default; when off the only cost is one untaken branch per cycle.
+	Checked bool
+
+	// CycleBudget aborts Run with a *check.BudgetError once the simulated
+	// cycle count reaches it (0 = no budget). Together with
+	// emu.Machine.MaxInsts this is the runaway guard: a mis-built kernel
+	// fails a sweep cell with a typed error instead of hanging it.
+	CycleBudget uint64
 }
 
 func (c Config) String() string { return c.Name }

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"unsafe"
 
+	"cryptoarch/internal/check"
 	"cryptoarch/internal/core"
 	"cryptoarch/internal/emu"
 	"cryptoarch/internal/isa"
@@ -28,6 +29,10 @@ func (s MachineStream) Next() (*emu.Rec, bool) {
 	}
 	return r, true
 }
+
+// Err surfaces a terminal machine fault (instruction budget, runaway PC)
+// so Run fails instead of timing a silently truncated stream.
+func (s MachineStream) Err() error { return s.M.Err() }
 
 // SizedStream is optionally implemented by streams that know in advance
 // how many instructions they will deliver (e.g. emu.ReplayStream). The
@@ -273,6 +278,9 @@ type Engine struct {
 	profSlots   bool
 	commitIdxs  []int32
 	lastRetired int32 // PC of the most recently retired instruction
+
+	// Checked-mode rotating cursor over large windows (invariants.go).
+	checkCursor uint64
 }
 
 // NewEngine creates a timing engine for cfg over src.
@@ -511,6 +519,29 @@ func (e *Engine) Run() (*Stats, error) {
 		// buckets sum to exactly Cycles*IssueWidth.
 		e.account()
 		e.cycle++
+		if e.cfg.Checked {
+			if err := e.CheckInvariants(); err != nil {
+				return nil, fmt.Errorf("ooo: %s: %w", e.cfg.Name, err)
+			}
+		}
+		if e.cfg.CycleBudget != 0 && e.cycle >= e.cfg.CycleBudget {
+			return nil, &check.BudgetError{
+				Resource: "cycles", Subject: "model " + e.cfg.Name,
+				Limit: e.cfg.CycleBudget, Used: e.cycle,
+			}
+		}
+	}
+	// A stream that ends because its machine faulted (instruction budget,
+	// runaway PC) must fail the run, not silently time the prefix.
+	if f, ok := e.src.(interface{ Err() error }); ok {
+		if err := f.Err(); err != nil {
+			return nil, fmt.Errorf("ooo: %s: source stream: %w", e.cfg.Name, err)
+		}
+	}
+	if e.cfg.Checked {
+		if err := e.CheckInvariants(); err != nil {
+			return nil, fmt.Errorf("ooo: %s: %w", e.cfg.Name, err)
+		}
 	}
 	e.stats.Cycles = e.cycle
 	e.stats.DL1Misses = e.mem.DL1Miss
