@@ -1,10 +1,14 @@
 // Command simbench measures the simulator's own speed — simulated MIPS
 // per machine model, steady-state allocation rate, trace record/replay
 // cost, and the serial vs parallel wall time of the full experiment
-// sweep — and writes the result as machine-readable JSON (BENCH_PR3.json
+// sweep — and writes the result as machine-readable JSON (BENCH_PR6.json
 // by default) so performance trajectories can be compared across commits.
-// With -check it also compares the fresh measurement against a committed
-// baseline and fails on a large regression.
+// Every run also appends one record to a persistent ledger
+// (.simledger/ledger.jsonl); -history reads the ledger back, compares the
+// newest run against a rolling baseline of earlier comparable runs, and
+// exits non-zero on a regression. With -check it also compares the fresh
+// measurement against a committed baseline file and fails on a large
+// regression.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"cryptoarch/internal/experiments"
 	"cryptoarch/internal/harness"
 	"cryptoarch/internal/isa"
+	"cryptoarch/internal/metrics"
 	"cryptoarch/internal/ooo"
 )
 
@@ -28,6 +33,15 @@ const (
 	benchCipher  = "blowfish"
 	benchSession = 4096
 )
+
+// resultSchemaVersion stamps the simbench JSON output; bump on field
+// renames or meaning changes.
+const resultSchemaVersion = 1
+
+// benchConfigID names the benchmark procedure in the ledger key: what was
+// measured and how. Bump it if the measured model set or methodology
+// changes, so old ledger records stop being compared against new ones.
+const benchConfigID = "replay-bench 4W,4W+,8W+,DF"
 
 // modelBench is one model's simulation-speed measurement. SecPerRun (and
 // the derived SimMIPS) time a warm-trace-cache run — the cost every model
@@ -45,9 +59,12 @@ type modelBench struct {
 }
 
 type result struct {
+	SchemaVersion      int          `json:"schema_version"`
 	GoVersion          string       `json:"go_version"`
 	GOMAXPROCS         int          `json:"gomaxprocs"`
 	Workload           string       `json:"workload"`
+	EngineVersion      string       `json:"engine_version"`
+	LedgerKey          string       `json:"ledger_key,omitempty"`
 	TraceRecordSeconds float64      `json:"trace_record_seconds"`
 	Models             []modelBench `json:"models"`
 	// TraceCache snapshots the harness cache counters after the per-model
@@ -57,6 +74,9 @@ type result struct {
 	SweepSerialSeconds   float64                 `json:"sweep_serial_seconds"`
 	SweepParallelSeconds float64                 `json:"sweep_parallel_seconds"`
 	SweepWorkers         int                     `json:"sweep_workers"`
+	// Metrics snapshots the process telemetry registry (sweep scheduler,
+	// trace cache, engine run totals, Go runtime) at exit.
+	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
 }
 
 // benchRecord times the one-off functional recording of the bench
@@ -145,16 +165,82 @@ func checkBaseline(fresh []modelBench, path string) error {
 	return nil
 }
 
+// printTrends renders the trend table and reports whether any gated
+// model regressed. DF (the infinite-window model) is excluded from gating
+// like everywhere else in the repo's perf tripwires, but still printed.
+func printTrends(trends []metrics.Trend) (regressed bool) {
+	fmt.Fprintf(os.Stderr, "%-4s %-11s %12s %12s %8s %s\n", "model", "metric", "baseline", "latest", "change", "verdict")
+	for _, t := range trends {
+		if t.Samples == 0 {
+			fmt.Fprintf(os.Stderr, "%-4s %-11s %12s %12.2f %8s no history yet\n", t.Model, t.Metric, "-", t.Latest, "-")
+			continue
+		}
+		verdict := "ok"
+		if t.Regressed {
+			verdict = "REGRESSED"
+			if t.Model != "DF" {
+				regressed = true
+			} else {
+				verdict = "REGRESSED (DF: not gated)"
+			}
+		}
+		fmt.Fprintf(os.Stderr, "%-4s %-11s %12.2f %12.2f %+7.1f%% %s (%d samples)\n",
+			t.Model, t.Metric, t.Baseline, t.Latest, 100*t.Change, verdict, t.Samples)
+	}
+	return regressed
+}
+
+// runHistory implements -history: compare the newest ledger record
+// against the rolling baseline of earlier comparable records. Exits via
+// return code: 0 clean, 1 regression or unusable ledger.
+func runHistory(dir string, window int, tol float64) int {
+	l, err := metrics.OpenLedger(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		return 1
+	}
+	recs, skipped, err := l.Read()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		return 1
+	}
+	if skipped > 0 {
+		fmt.Fprintf(os.Stderr, "simbench: skipped %d corrupted ledger line(s) in %s\n", skipped, l.Path())
+	}
+	if len(recs) == 0 {
+		fmt.Fprintf(os.Stderr, "simbench: %s is empty — run simbench first to record history\n", l.Path())
+		return 1
+	}
+	latest := recs[len(recs)-1]
+	fmt.Fprintf(os.Stderr, "ledger %s: %d record(s); latest key %s (%s, %s)\n",
+		l.Path(), len(recs), latest.Key, latest.GoVersion, latest.EngineVersion)
+	if printTrends(metrics.Trends(recs, window, tol)) {
+		fmt.Fprintln(os.Stderr, "simbench: performance regressed vs rolling baseline")
+		return 1
+	}
+	return 0
+}
+
 func main() {
-	out := flag.String("o", "BENCH_PR3.json", "output file (\"-\" for stdout)")
+	out := flag.String("o", "BENCH_PR6.json", "output file (\"-\" for stdout)")
 	skipSweep := flag.Bool("nosweep", false, "skip the full-suite sweep timing (much faster)")
 	check := flag.String("check", "", "baseline JSON to compare against; exit non-zero if finite-model sim-MIPS drops below 50%")
+	ledgerDir := flag.String("ledger", ".simledger", "run-ledger directory (\"\" disables the ledger)")
+	history := flag.Bool("history", false, "don't benchmark; compare the newest ledger record against its rolling baseline and exit non-zero on regression")
+	window := flag.Int("window", 5, "rolling-baseline window for -history (earlier comparable runs averaged)")
+	tol := flag.Float64("tol", 0.30, "relative tolerance for -history (0.30 = flag a >30% move in the bad direction)")
 	flag.Parse()
 
+	if *history {
+		os.Exit(runHistory(*ledgerDir, *window, *tol))
+	}
+
 	res := result{
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Workload:   "blowfish/rot/4096B CBC session, seed 12345",
+		SchemaVersion: resultSchemaVersion,
+		GoVersion:     runtime.Version(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Workload:      "blowfish/rot/4096B CBC session, seed 12345",
+		EngineVersion: ooo.EngineVersion,
 	}
 	rec, err := benchRecord()
 	if err != nil {
@@ -186,6 +272,36 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sweep %d cells: serial %.1fs, %d workers %.1fs\n",
 			res.SweepCells, res.SweepSerialSeconds, res.SweepWorkers, res.SweepParallelSeconds)
 	}
+	if *ledgerDir != "" {
+		l, err := metrics.OpenLedger(*ledgerDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simbench:", err)
+			os.Exit(1)
+		}
+		rec := metrics.LedgerRecord{
+			TimeUnix:      time.Now().Unix(),
+			GoVersion:     res.GoVersion,
+			GOMAXPROCS:    res.GOMAXPROCS,
+			Workload:      res.Workload,
+			Config:        benchConfigID,
+			EngineVersion: res.EngineVersion,
+		}
+		for _, m := range res.Models {
+			rec.Models = append(rec.Models, metrics.LedgerModel{
+				Model: m.Model, SimMIPS: m.SimMIPS,
+				AllocsPerRun: m.AllocsPerRun, BytesPerRun: m.BytesPerRun,
+			})
+		}
+		if err := l.Append(&rec); err != nil {
+			fmt.Fprintln(os.Stderr, "simbench:", err)
+			os.Exit(1)
+		}
+		res.LedgerKey = rec.Key
+		fmt.Fprintf(os.Stderr, "ledger: appended key %s to %s\n", rec.Key, l.Path())
+	}
+	reg := harness.Metrics()
+	metrics.SampleRuntime(reg)
+	res.Metrics = reg.Snapshot()
 	if *check != "" {
 		if err := checkBaseline(res.Models, *check); err != nil {
 			fmt.Fprintln(os.Stderr, "simbench:", err)

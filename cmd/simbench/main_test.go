@@ -1,0 +1,88 @@
+package main
+
+import (
+	"runtime"
+	"testing"
+
+	"cryptoarch/internal/metrics"
+	"cryptoarch/internal/ooo"
+)
+
+// ledgerWith appends n records with the given per-model sim-MIPS values
+// (allocs/bytes held constant) to a fresh ledger in a temp dir and
+// returns the dir.
+func ledgerWith(t *testing.T, mips ...float64) string {
+	t.Helper()
+	dir := t.TempDir()
+	l, err := metrics.OpenLedger(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range mips {
+		rec := metrics.LedgerRecord{
+			TimeUnix:      1,
+			GoVersion:     runtime.Version(),
+			GOMAXPROCS:    runtime.GOMAXPROCS(0),
+			Workload:      "test workload",
+			Config:        benchConfigID,
+			EngineVersion: ooo.EngineVersion,
+			Models: []metrics.LedgerModel{
+				{Model: "4W", SimMIPS: v, AllocsPerRun: 1000, BytesPerRun: 400000},
+			},
+		}
+		if err := l.Append(&rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestHistoryFlagsInjectedRegression pins the acceptance gate: a ledger
+// whose newest record shows a large sim-MIPS drop makes -history exit
+// non-zero, while a steady history passes.
+func TestHistoryFlagsInjectedRegression(t *testing.T) {
+	if code := runHistory(ledgerWith(t, 8.0, 8.2, 7.9, 3.0), 5, 0.30); code == 0 {
+		t.Fatal("runHistory returned 0 on a 60% sim-MIPS regression, want non-zero")
+	}
+	if code := runHistory(ledgerWith(t, 8.0, 8.2, 7.9, 8.1), 5, 0.30); code != 0 {
+		t.Fatalf("runHistory returned %d on a steady history, want 0", code)
+	}
+}
+
+// TestHistoryEmptyLedger pins that -history on a missing or empty ledger
+// is an error (there is nothing to compare), not a silent pass.
+func TestHistoryEmptyLedger(t *testing.T) {
+	if code := runHistory(t.TempDir(), 5, 0.30); code == 0 {
+		t.Fatal("runHistory returned 0 on an empty ledger, want non-zero")
+	}
+}
+
+// TestHistoryDFNotGated pins the DF exclusion: the infinite-window model
+// is reported but never fails the gate, matching checkBaseline.
+func TestHistoryDFNotGated(t *testing.T) {
+	dir := t.TempDir()
+	l, err := metrics.OpenLedger(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{9.0, 9.1, 2.0} { // DF regresses, 4W steady
+		rec := metrics.LedgerRecord{
+			TimeUnix:      1,
+			GoVersion:     runtime.Version(),
+			GOMAXPROCS:    runtime.GOMAXPROCS(0),
+			Workload:      "test workload",
+			Config:        benchConfigID,
+			EngineVersion: ooo.EngineVersion,
+			Models: []metrics.LedgerModel{
+				{Model: "4W", SimMIPS: 8.0, AllocsPerRun: 1000, BytesPerRun: 400000},
+				{Model: "DF", SimMIPS: v, AllocsPerRun: 1700, BytesPerRun: 700000},
+			},
+		}
+		if err := l.Append(&rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if code := runHistory(dir, 5, 0.30); code != 0 {
+		t.Fatalf("runHistory returned %d on a DF-only regression, want 0 (DF is not gated)", code)
+	}
+}

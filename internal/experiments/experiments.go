@@ -20,6 +20,11 @@ const SessionBytes = 4096
 // Ciphers lists the suite in the paper's presentation order.
 var Ciphers = []string{"3des", "blowfish", "idea", "mars", "rc4", "rc6", "rijndael", "twofish"}
 
+// ReportSchemaVersion stamps every JSON-rendered report so downstream
+// scrapers can detect layout changes. Bump it when a field is renamed,
+// removed, or changes meaning — not when rows or notes change.
+const ReportSchemaVersion = 1
+
 // Report is a rendered experiment: a title, column headers, and rows.
 type Report struct {
 	ID      string     `json:"id"` // e.g. "figure-4"
@@ -27,6 +32,16 @@ type Report struct {
 	Note    string     `json:"note,omitempty"`
 	Columns []string   `json:"columns"`
 	Rows    [][]string `json:"rows"`
+}
+
+// MarshalJSON stamps schema_version onto every JSON rendering of a
+// report, whether marshaled alone or inside the asplos2000 -json array.
+func (r Report) MarshalJSON() ([]byte, error) {
+	type alias Report // drops the method, avoiding recursion
+	return json.Marshal(struct {
+		SchemaVersion int `json:"schema_version"`
+		alias
+	}{ReportSchemaVersion, alias(r)})
 }
 
 // JSON renders the report as machine-readable JSON, so benchmark

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cryptoarch/internal/harness"
+	"cryptoarch/internal/metrics"
+)
+
+// MetricsReport renders the process telemetry registry — sweep scheduler
+// counters, trace-cache traffic, engine run totals, and a fresh Go
+// runtime sample — as a report. Like the trace-cache report it is a view
+// of this invocation, not a paper experiment: it joins asplos2000 -json
+// output but never EXPERIMENTS.md.
+func MetricsReport() *Report {
+	reg := harness.Metrics()
+	metrics.SampleRuntime(reg)
+	snap := reg.Snapshot()
+	r := &Report{
+		ID:      "telemetry",
+		Title:   "process telemetry registry snapshot for this invocation",
+		Columns: []string{"metric", "kind", "value"},
+		Rows:    [][]string{},
+	}
+	for _, c := range snap.Counters {
+		r.Rows = append(r.Rows, []string{c.Name, "counter", fmt.Sprintf("%d", c.Value)})
+	}
+	for _, g := range snap.Gauges {
+		r.Rows = append(r.Rows, []string{g.Name, "gauge", fmt.Sprintf("%g", g.Value)})
+	}
+	for _, h := range snap.Histograms {
+		val := fmt.Sprintf("count=%d sum=%d", h.Count, h.Sum)
+		if h.Count > 0 {
+			val += fmt.Sprintf(" min=%d max=%d", h.Min, h.Max)
+		}
+		r.Rows = append(r.Rows, []string{h.Name, "histogram", val})
+	}
+	return r
+}

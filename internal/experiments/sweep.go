@@ -9,6 +9,7 @@ import (
 
 	"cryptoarch/internal/harness"
 	"cryptoarch/internal/isa"
+	"cryptoarch/internal/metrics"
 	"cryptoarch/internal/ooo"
 )
 
@@ -53,6 +54,36 @@ type Cell struct {
 
 func (c Cell) key() string {
 	return fmt.Sprintf("%d|%s|%s|%s|%d|%d", c.Kind, c.Cipher, c.Feat, c.Cfg.Name, c.Session, c.Seed)
+}
+
+// kindName is the human-readable cell kind, used in span labels.
+func (k CellKind) kindName() string {
+	switch k {
+	case CellKernel:
+		return "kernel"
+	case CellSetup:
+		return "setup"
+	case CellDecrypt:
+		return "decrypt"
+	case CellCount:
+		return "count"
+	case CellMix:
+		return "mix"
+	case CellValuePred:
+		return "valuepred"
+	case CellHandshake:
+		return "handshake"
+	}
+	return "unknown"
+}
+
+// label is the span name of a cell: kind, cipher/feature and — when the
+// cell runs a timing model — the machine configuration.
+func (c Cell) label() string {
+	if c.Cfg.Name != "" {
+		return fmt.Sprintf("%s %s/%s %s", c.Kind.kindName(), c.Cipher, c.Feat, c.Cfg.Name)
+	}
+	return fmt.Sprintf("%s %s/%s", c.Kind.kindName(), c.Cipher, c.Feat)
 }
 
 // cellResult is a singleflight slot: the first goroutine to need the cell
@@ -173,6 +204,34 @@ type SweepProgress func(done, total int, c Cell, d time.Duration)
 // first, and regardless of worker count.
 func Sweep(cells []Cell) { SweepObserved(cells, nil) }
 
+// sweepTelemetry bundles the metric handles one sweep updates. Built from
+// a nil registry every handle is nil and every update a no-op, so the
+// scheduler is instrumented unconditionally.
+type sweepTelemetry struct {
+	sweeps  *metrics.Counter   // sweeps executed
+	cells   *metrics.Counter   // unique cells dispatched
+	workers *metrics.Gauge     // effective worker count of the last sweep
+	cellNS  *metrics.Histogram // per-cell wall time
+	queueNS *metrics.Histogram // time a cell waited for a free worker
+}
+
+func newSweepTelemetry(r *metrics.Registry) sweepTelemetry {
+	return sweepTelemetry{
+		sweeps:  r.Counter("sweep.sweeps"),
+		cells:   r.Counter("sweep.cells"),
+		workers: r.Gauge("sweep.workers"),
+		cellNS:  r.Histogram("sweep.cell_ns"),
+		queueNS: r.Histogram("sweep.queue_wait_ns"),
+	}
+}
+
+// queuedCell stamps a cell with its enqueue time so the receiving worker
+// can observe how long it sat waiting for a free slot.
+type queuedCell struct {
+	c  Cell
+	at time.Time
+}
+
 // SweepObserved is Sweep with a per-cell progress callback (nil behaves
 // exactly like Sweep). Timing the callback observes is observation only:
 // cell results and report bytes are identical with or without it.
@@ -196,6 +255,21 @@ func SweepObserved(cells []Cell, progress SweepProgress) {
 	n := effectiveWorkers(len(uniq))
 	lastSweepWorkers = n
 
+	// Telemetry: counters/histograms on the process registry, and — when a
+	// timeline is installed — a sweep span that every cell span parents to,
+	// regardless of which worker goroutine executes it.
+	reg := harness.Metrics()
+	tl := harness.CurrentTimeline()
+	tele := newSweepTelemetry(reg)
+	tele.sweeps.Inc()
+	tele.cells.Add(int64(len(uniq)))
+	tele.workers.Set(float64(n))
+	sweepSpan := metrics.NoSpan
+	if tl != nil {
+		sweepSpan = tl.Begin("sweep", fmt.Sprintf("sweep %d cells / %d workers", len(uniq), n))
+	}
+	defer tl.End(sweepSpan)
+
 	// done counts completed cells under progressMu, which also serializes
 	// the callback so progress lines never interleave.
 	var progressMu sync.Mutex
@@ -213,26 +287,39 @@ func SweepObserved(cells []Cell, progress SweepProgress) {
 	if n <= 1 {
 		for _, c := range uniq {
 			start := time.Now()
+			sp := tl.BeginOn(sweepSpan, "cell", c.label())
 			getCell(c)
-			finish(c, time.Since(start))
+			tl.End(sp)
+			d := time.Since(start)
+			tele.cellNS.Observe(d.Nanoseconds())
+			finish(c, d)
 		}
 		return
 	}
-	ch := make(chan Cell)
+	ch := make(chan queuedCell)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			for c := range ch {
+			tl.BindTrack(w)
+			defer tl.ReleaseTrack()
+			busy := reg.Counter(fmt.Sprintf("sweep.worker.%02d.busy_ns", w))
+			for q := range ch {
+				tele.queueNS.Observe(time.Since(q.at).Nanoseconds())
 				start := time.Now()
-				getCell(c)
-				finish(c, time.Since(start))
+				sp := tl.BeginOn(sweepSpan, "cell", q.c.label())
+				getCell(q.c)
+				tl.End(sp)
+				d := time.Since(start)
+				busy.Add(d.Nanoseconds())
+				tele.cellNS.Observe(d.Nanoseconds())
+				finish(q.c, d)
 			}
-		}()
+		}(i + 1)
 	}
 	for _, c := range uniq {
-		ch <- c
+		ch <- queuedCell{c: c, at: time.Now()}
 	}
 	close(ch)
 	wg.Wait()

@@ -13,6 +13,7 @@ import (
 	"cryptoarch/internal/emu"
 	"cryptoarch/internal/isa"
 	"cryptoarch/internal/kernels"
+	"cryptoarch/internal/metrics"
 	"cryptoarch/internal/ooo"
 )
 
@@ -76,6 +77,23 @@ func TracerObserver(t ooo.Tracer) RunObserver {
 	return func(e *ooo.Engine) { e.SetTracer(t) }
 }
 
+// meteredRun attaches the process telemetry to a warmed engine and runs
+// it: run totals accumulate onto the metrics registry, and when a span
+// timeline is installed the run appears as a replay-phase span (nested in
+// the sweep cell that requested it). With telemetry off this adds one nil
+// check and one atomic load per run.
+func meteredRun(eng *ooo.Engine, cfg ooo.Config, cipher string, feat isa.Feature) (*ooo.Stats, error) {
+	eng.SetMetrics(Metrics())
+	tl := CurrentTimeline()
+	sp := metrics.NoSpan
+	if tl != nil {
+		sp = tl.Begin("replay", "run "+cfg.Name+" "+cipher+"/"+feat.String())
+	}
+	st, err := eng.Run()
+	tl.End(sp)
+	return st, err
+}
+
 // TimeKernel runs one cipher-kernel session on a machine configuration and
 // returns the timing statistics.
 func TimeKernel(cipher string, feat isa.Feature, cfg ooo.Config, sessionBytes int, seed int64) (*ooo.Stats, error) {
@@ -102,7 +120,7 @@ func TimeKernelObserved(cipher string, feat isa.Feature, cfg ooo.Config, session
 	if obs != nil {
 		obs(eng)
 	}
-	return eng.Run()
+	return meteredRun(eng, cfg, cipher, feat)
 }
 
 // TimeWorkload times a prepared workload.
@@ -127,7 +145,7 @@ func TimeWorkloadObserved(w *Workload, feat isa.Feature, cfg ooo.Config, obs Run
 	if obs != nil {
 		obs(eng)
 	}
-	return eng.Run()
+	return meteredRun(eng, cfg, w.Cipher, feat)
 }
 
 // TimeDecrypt runs one decryption session (golden-encrypted ciphertext
@@ -146,7 +164,7 @@ func TimeDecrypt(cipher string, feat isa.Feature, cfg ooo.Config, sessionBytes i
 	eng := ooo.NewEngine(cfg, src)
 	eng.WarmData(kernels.CtxAddr, k.CtxBytes)
 	eng.WarmCode(codeLen)
-	return eng.Run()
+	return meteredRun(eng, cfg, cipher, feat)
 }
 
 // goldenCiphertext encrypts the workload with the golden cipher.
@@ -201,5 +219,5 @@ func TimeSetup(cipher string, feat isa.Feature, cfg ooo.Config, seed int64) (*oo
 	}
 	eng := ooo.NewEngine(cfg, src)
 	eng.WarmCode(codeLen)
-	return eng.Run()
+	return meteredRun(eng, cfg, cipher, feat)
 }

@@ -33,7 +33,7 @@ func ProfileKernel(cipher string, feat isa.Feature, cfg ooo.Config, sessionBytes
 	eng.WarmData(kernels.CtxAddr, k.CtxBytes)
 	eng.WarmCode(codeLen)
 	prof := eng.EnableProfile(codeLen)
-	st, err := eng.Run()
+	st, err := meteredRun(eng, cfg, cipher, feat)
 	if err != nil {
 		return nil, err
 	}
@@ -58,7 +58,7 @@ func ProfileWorkload(w *Workload, feat isa.Feature, cfg ooo.Config) (*ProfiledRu
 	eng.WarmData(kernels.CtxAddr, k.CtxBytes)
 	eng.WarmCode(len(m.Prog.Code))
 	prof := eng.EnableProfile(len(m.Prog.Code))
-	st, err := eng.Run()
+	st, err := meteredRun(eng, cfg, w.Cipher, feat)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,87 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+
+	"cryptoarch/internal/isa"
+	"cryptoarch/internal/metrics"
+	"cryptoarch/internal/ooo"
+)
+
+// TestMetricsDisabledBitIdentical pins the zero-cost-when-disabled
+// contract: with the registry removed (SetMetrics(nil)) a timing run
+// produces bit-identical statistics to one under the default live
+// registry. Telemetry observes the simulation; it must never perturb it.
+func TestMetricsDisabledBitIdentical(t *testing.T) {
+	const (
+		cipher  = "blowfish"
+		session = 2048
+		seed    = int64(99)
+	)
+	cfg := ooo.FourWide
+
+	ResetTraceCache()
+	live, err := TimeKernel(cipher, isa.FeatRot, cfg, session, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prev := SetMetrics(nil)
+	defer func() {
+		SetMetrics(prev)
+		ResetTraceCache()
+	}()
+	ResetTraceCache()
+	off, err := TimeKernel(cipher, isa.FeatRot, cfg, session, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(live, off) {
+		t.Fatalf("stats differ with telemetry disabled:\nlive: %+v\noff:  %+v", live, off)
+	}
+	if st := ReadTraceCacheStats(); st != (TraceCacheStats{}) {
+		t.Fatalf("trace-cache stats non-zero with telemetry disabled: %+v", st)
+	}
+}
+
+// TestTraceCacheStatsOnRegistry pins the refactor of the bespoke
+// trace-cache counters onto the metrics registry: the counters visible
+// through ReadTraceCacheStats are the same values the registry snapshot
+// reports under the tracecache.* names.
+func TestTraceCacheStatsOnRegistry(t *testing.T) {
+	reg := metrics.NewRegistry()
+	prev := SetMetrics(reg)
+	defer func() {
+		SetMetrics(prev)
+		ResetTraceCache()
+	}()
+	ResetTraceCache()
+
+	cfg := ooo.FourWide
+	for i := 0; i < 2; i++ { // miss+record, then hit+replay
+		if _, err := TimeKernel("blowfish", isa.FeatRot, cfg, 1024, 7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := ReadTraceCacheStats()
+	if st.Misses == 0 || st.Hits == 0 || st.Records == 0 || st.Replays == 0 {
+		t.Fatalf("expected miss/record and hit/replay traffic, got %+v", st)
+	}
+	want := map[string]int64{
+		"tracecache.hits":    int64(st.Hits),
+		"tracecache.misses":  int64(st.Misses),
+		"tracecache.records": int64(st.Records),
+		"tracecache.replays": int64(st.Replays),
+	}
+	got := map[string]int64{}
+	for _, c := range reg.Snapshot().Counters {
+		if _, ok := want[c.Name]; ok {
+			got[c.Name] = c.Value
+		}
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("registry counters disagree with ReadTraceCacheStats:\nwant %v\ngot  %v", want, got)
+	}
+}

@@ -4,12 +4,14 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cryptoarch/internal/check"
 	"cryptoarch/internal/emu"
 	"cryptoarch/internal/isa"
 	"cryptoarch/internal/kernels"
+	"cryptoarch/internal/metrics"
 	"cryptoarch/internal/ooo"
 )
 
@@ -123,6 +125,11 @@ func (r *releasingStream) Err() error {
 // entirely from previously recorded state; a miss pays functional
 // emulation (it recorded the trace itself, or fell back to live
 // execution). The remaining counters break the traffic down by mechanism.
+//
+// The counters live on the telemetry registry (tracecache.* names); this
+// struct is the stable JSON view ReadTraceCacheStats assembles from them,
+// so simbench and asplos2000 -json output keeps its field names. With the
+// registry disabled (SetMetrics(nil)) the counts read zero.
 type TraceCacheStats struct {
 	Hits          int `json:"hits"`           // requests served from a recorded trace
 	Misses        int `json:"misses"`         // requests that paid functional emulation
@@ -145,10 +152,47 @@ type traceCache struct {
 	entries map[traceKey]*traceEntry
 	bytes   int // retained trace bytes
 	clock   uint64
-	stats   TraceCacheStats
 }
 
 var traces = traceCache{entries: make(map[traceKey]*traceEntry)}
+
+// tcCounters holds the registry handles of the trace-cache counters,
+// rebound whenever SetMetrics swaps the registry. All fields are nil when
+// telemetry is disabled; every update site then no-ops.
+type tcCounters struct {
+	hits, misses, records, replays, resumes *metrics.Counter
+	liveFallbacks, evictions, checksumEv    *metrics.Counter
+	recordNS                                *metrics.Counter
+}
+
+var tcPtr atomic.Pointer[tcCounters]
+
+func rebindTraceCounters(r *metrics.Registry) {
+	tcPtr.Store(&tcCounters{
+		hits:          r.Counter("tracecache.hits"),
+		misses:        r.Counter("tracecache.misses"),
+		records:       r.Counter("tracecache.records"),
+		replays:       r.Counter("tracecache.replays"),
+		resumes:       r.Counter("tracecache.resumes"),
+		liveFallbacks: r.Counter("tracecache.live_fallbacks"),
+		evictions:     r.Counter("tracecache.evictions"),
+		checksumEv:    r.Counter("tracecache.checksum_evictions"),
+		recordNS:      r.Counter("tracecache.record_ns"),
+	})
+}
+
+// tcCtr returns the current counter handles (never nil; the handles inside
+// are nil when telemetry is off).
+func tcCtr() *tcCounters { return tcPtr.Load() }
+
+func (c *tcCounters) reset() {
+	for _, ctr := range []*metrics.Counter{
+		c.hits, c.misses, c.records, c.replays, c.resumes,
+		c.liveFallbacks, c.evictions, c.checksumEv, c.recordNS,
+	} {
+		ctr.Reset()
+	}
+}
 
 // ResetTraceCache drops all cached traces and zeroes the statistics.
 // Benchmarks use it to time cold and warm passes separately.
@@ -158,14 +202,23 @@ func ResetTraceCache() {
 	traces.entries = make(map[traceKey]*traceEntry)
 	traces.bytes = 0
 	traces.clock = 0
-	traces.stats = TraceCacheStats{}
+	tcCtr().reset()
 }
 
 // ReadTraceCacheStats returns a snapshot of the cache counters.
 func ReadTraceCacheStats() TraceCacheStats {
-	traces.mu.Lock()
-	defer traces.mu.Unlock()
-	return traces.stats
+	c := tcCtr()
+	return TraceCacheStats{
+		Hits:              int(c.hits.Value()),
+		Misses:            int(c.misses.Value()),
+		Records:           int(c.records.Value()),
+		Replays:           int(c.replays.Value()),
+		Resumes:           int(c.resumes.Value()),
+		LiveFallbacks:     int(c.liveFallbacks.Value()),
+		Evictions:         int(c.evictions.Value()),
+		ChecksumEvictions: int(c.checksumEv.Value()),
+		RecordTime:        time.Duration(c.recordNS.Value()),
+	}
 }
 
 // machineFor builds the functional machine a key describes.
@@ -202,6 +255,12 @@ var recordMaxInsts uint64
 
 // record runs the functional emulation for e (singleflight body).
 func (e *traceEntry) record(k traceKey) {
+	tl := CurrentTimeline()
+	sp := metrics.NoSpan
+	if tl != nil {
+		sp = tl.Begin("record", "record "+k.cipher+"/"+k.feat.String())
+	}
+	defer tl.End(sp)
 	start := time.Now()
 	m, err := machineFor(k)
 	if err != nil {
@@ -217,7 +276,7 @@ func (e *traceEntry) record(k traceKey) {
 
 	traces.mu.Lock()
 	defer traces.mu.Unlock()
-	traces.stats.RecordTime += elapsed
+	tcCtr().recordNS.Add(elapsed.Nanoseconds())
 	if !complete {
 		if ferr := m.Err(); ferr != nil {
 			// The machine faulted (instruction budget, runaway PC): the
@@ -238,7 +297,7 @@ func (e *traceEntry) record(k traceKey) {
 	copy(recs, tr.Recs)
 	putRecBuf(tr.Recs)
 	tr = &emu.Trace{Prog: tr.Prog, Recs: recs}
-	traces.stats.Records++
+	tcCtr().records.Inc()
 	e.tr = tr
 	e.sum = tr.Checksum()
 	traces.bytes += tr.Bytes()
@@ -265,7 +324,7 @@ func (c *traceCache) evictLocked() {
 		}
 		c.bytes -= ve.tr.Bytes()
 		delete(c.entries, victim)
-		c.stats.Evictions++
+		tcCtr().evictions.Inc()
 	}
 }
 
@@ -309,7 +368,7 @@ func (c *traceCache) streamChecked(k traceKey, retried bool) (ooo.Stream, int, e
 		// the retained bytes and the request fails loudly.
 		if tr.Checksum() != sum {
 			c.mu.Lock()
-			c.stats.ChecksumEvictions++
+			tcCtr().checksumEv.Inc()
 			if c.entries[k] == e {
 				delete(c.entries, k)
 				c.bytes -= tr.Bytes()
@@ -322,29 +381,30 @@ func (c *traceCache) streamChecked(k traceKey, retried bool) (ooo.Stream, int, e
 			}
 			return c.streamChecked(k, true)
 		}
-		c.mu.Lock()
-		c.stats.Replays++
+		ctr := tcCtr()
+		ctr.replays.Inc()
 		if recorded {
-			c.stats.Misses++
+			ctr.misses.Inc()
 		} else {
-			c.stats.Hits++
+			ctr.hits.Inc()
 		}
-		c.mu.Unlock()
 		return tr.Stream(), e.codeLen, nil
 	}
 	if s := e.resume; s != nil {
 		e.resume = nil // single-use
-		c.stats.Resumes++
+		ctr := tcCtr()
+		ctr.resumes.Inc()
 		if recorded {
-			c.stats.Misses++
+			ctr.misses.Inc()
 		} else {
-			c.stats.Hits++
+			ctr.hits.Inc()
 		}
 		c.mu.Unlock()
 		return s, e.codeLen, nil
 	}
-	c.stats.LiveFallbacks++
-	c.stats.Misses++
+	ctr := tcCtr()
+	ctr.liveFallbacks.Inc()
+	ctr.misses.Inc()
 	c.mu.Unlock()
 
 	m, err := machineFor(k)

@@ -1,0 +1,230 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// This file implements the persistent run ledger: an append-only JSONL
+// file (.simledger/ledger.jsonl by default) that simbench appends one
+// record to per run. Records are content-hash keyed by everything that
+// makes measurements comparable — go version, GOMAXPROCS, workload,
+// benchmark config, engine version — following the PR 5 checksum
+// discipline: the key, not the wall clock, decides which records belong to
+// the same trend line. Trends() computes per-model rolling baselines over
+// the ledger and flags regressions with direction and magnitude, replacing
+// the single-snapshot 2x tripwire with a real performance trajectory.
+
+// LedgerSchemaVersion identifies the record format; bump on any change to
+// the LedgerRecord JSON shape so old ledgers stay detectable.
+const LedgerSchemaVersion = 1
+
+// LedgerFile is the file name inside the ledger directory.
+const LedgerFile = "ledger.jsonl"
+
+// LedgerModel is one machine model's measurement within a ledger record.
+// Field names match the simbench model JSON so the two stay greppable as
+// one vocabulary.
+type LedgerModel struct {
+	Model        string  `json:"model"`
+	SimMIPS      float64 `json:"simulated_mips"`
+	AllocsPerRun int64   `json:"allocs_per_run"`
+	BytesPerRun  int64   `json:"bytes_per_run"`
+}
+
+// LedgerRecord is one benchmark run. Key is the content hash of the
+// identity fields (DeriveKey); records with equal keys are comparable
+// measurements of the same configuration on the same toolchain.
+type LedgerRecord struct {
+	SchemaVersion int           `json:"schema_version"`
+	TimeUnix      int64         `json:"time_unix"`
+	Key           string        `json:"key"`
+	GoVersion     string        `json:"go_version"`
+	GOMAXPROCS    int           `json:"gomaxprocs"`
+	Workload      string        `json:"workload"`
+	Config        string        `json:"config"`
+	EngineVersion string        `json:"engine_version"`
+	Models        []LedgerModel `json:"models"`
+}
+
+// DeriveKey returns the FNV-1a content hash (16 hex digits) of the
+// record's identity fields. Models and timestamps are deliberately
+// excluded: the key identifies what was measured and by which engine, not
+// what the measurement was or when.
+func (r *LedgerRecord) DeriveKey() string {
+	h := fnv.New64a()
+	for _, s := range []string{r.GoVersion, strconv.Itoa(r.GOMAXPROCS), r.Workload, r.Config, r.EngineVersion} {
+		h.Write([]byte(s))
+		h.Write([]byte{0}) // field separator so "a"+"bc" != "ab"+"c"
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Ledger is a handle on one append-only ledger file.
+type Ledger struct {
+	path string
+}
+
+// OpenLedger creates dir if needed and returns a handle on its ledger
+// file. The file itself is created lazily by the first Append.
+func OpenLedger(dir string) (*Ledger, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("metrics: empty ledger directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("metrics: ledger dir: %w", err)
+	}
+	return &Ledger{path: filepath.Join(dir, LedgerFile)}, nil
+}
+
+// Path returns the ledger file path.
+func (l *Ledger) Path() string { return l.path }
+
+// Append writes one record as a single JSON line. The schema version is
+// stamped and the key derived here, so callers cannot append a record that
+// disagrees with its own identity fields.
+func (l *Ledger) Append(rec *LedgerRecord) error {
+	rec.SchemaVersion = LedgerSchemaVersion
+	rec.Key = rec.DeriveKey()
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	f, err := os.OpenFile(l.path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Read returns every parseable record in append order plus the number of
+// corrupted (unparseable or wrong-schema) lines skipped. A missing ledger
+// file is an empty ledger, not an error: the first run of a fresh checkout
+// has no history yet.
+func (l *Ledger) Read() (recs []LedgerRecord, skipped int, err error) {
+	f, err := os.Open(l.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, nil
+		}
+		return nil, 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec LedgerRecord
+		if json.Unmarshal(line, &rec) != nil || rec.SchemaVersion != LedgerSchemaVersion || rec.Key == "" {
+			skipped++
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return recs, skipped, err
+	}
+	return recs, skipped, nil
+}
+
+// Trend is one (model, metric) trajectory: the latest measurement against
+// the rolling baseline of earlier same-key records. Change is the signed
+// fractional move from baseline (+0.10 = 10% above baseline), so direction
+// and magnitude read off one number; Regressed applies the metric's
+// better-direction and tolerance.
+type Trend struct {
+	Model     string  `json:"model"`
+	Metric    string  `json:"metric"`
+	Baseline  float64 `json:"baseline"`
+	Latest    float64 `json:"latest"`
+	Change    float64 `json:"change"`
+	Samples   int     `json:"samples"` // baseline records (0 = no history yet)
+	Regressed bool    `json:"regressed"`
+}
+
+// trendMetric describes how one LedgerModel field trends.
+type trendMetric struct {
+	name      string
+	value     func(LedgerModel) float64
+	higherBad bool    // true when an increase is a regression
+	absSlack  float64 // absolute slack added to the tolerance band
+}
+
+var trendMetrics = []trendMetric{
+	{name: "sim-MIPS", value: func(m LedgerModel) float64 { return m.SimMIPS }, higherBad: false},
+	// A couple of allocations (pool refill, map growth) come and go with
+	// the runtime; tiny absolute slack keeps zero-alloc models from
+	// flagging on noise while still catching a real leak.
+	{name: "allocs/run", value: func(m LedgerModel) float64 { return float64(m.AllocsPerRun) }, higherBad: true, absSlack: 4},
+	{name: "bytes/run", value: func(m LedgerModel) float64 { return float64(m.BytesPerRun) }, higherBad: true, absSlack: 4096},
+}
+
+// Trends compares the newest record against a rolling baseline: the mean
+// of up to window earlier records with the same key. Models appear in the
+// latest record's order; metrics in fixed order (sim-MIPS, allocs/run,
+// bytes/run). tol is the relative tolerance band (0.3 = 30%): sim-MIPS
+// regresses by falling below baseline*(1-tol); allocs and bytes regress by
+// exceeding baseline*(1+tol) plus a small absolute slack. With fewer than
+// one earlier same-key record, trends report Samples == 0 and never flag.
+func Trends(recs []LedgerRecord, window int, tol float64) []Trend {
+	if len(recs) == 0 {
+		return nil
+	}
+	if window < 1 {
+		window = 1
+	}
+	latest := recs[len(recs)-1]
+	var hist []LedgerRecord
+	for _, r := range recs[:len(recs)-1] {
+		if r.Key == latest.Key {
+			hist = append(hist, r)
+		}
+	}
+	if len(hist) > window {
+		hist = hist[len(hist)-window:]
+	}
+	var out []Trend
+	for _, m := range latest.Models {
+		for _, tm := range trendMetrics {
+			t := Trend{Model: m.Model, Metric: tm.name, Latest: tm.value(m)}
+			var sum float64
+			for _, h := range hist {
+				for _, hm := range h.Models {
+					if hm.Model == m.Model {
+						sum += tm.value(hm)
+						t.Samples++
+						break
+					}
+				}
+			}
+			if t.Samples > 0 {
+				t.Baseline = sum / float64(t.Samples)
+				if t.Baseline != 0 {
+					t.Change = (t.Latest - t.Baseline) / t.Baseline
+				} else if t.Latest != 0 {
+					t.Change = 1
+				}
+				if tm.higherBad {
+					t.Regressed = t.Latest > t.Baseline*(1+tol)+tm.absSlack
+				} else {
+					t.Regressed = t.Latest < t.Baseline*(1-tol)
+				}
+			}
+			out = append(out, t)
+		}
+	}
+	return out
+}

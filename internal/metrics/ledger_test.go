@@ -1,0 +1,252 @@
+package metrics
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func testRecord(mips float64, allocs, bytes int64) *LedgerRecord {
+	return &LedgerRecord{
+		TimeUnix:      1700000000,
+		GoVersion:     "go1.22.0",
+		GOMAXPROCS:    8,
+		Workload:      "blowfish/rot/4096B CBC session, seed 12345",
+		Config:        "4W,4W+,8W+,DF",
+		EngineVersion: "ooo-v1",
+		Models: []LedgerModel{
+			{Model: "4W", SimMIPS: mips, AllocsPerRun: allocs, BytesPerRun: bytes},
+			{Model: "8W+", SimMIPS: mips * 0.8, AllocsPerRun: allocs, BytesPerRun: bytes},
+		},
+	}
+}
+
+// TestLedgerRoundTrip: append N records, read them back identically.
+func TestLedgerRoundTrip(t *testing.T) {
+	led, err := OpenLedger(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []LedgerRecord
+	for i := 0; i < 3; i++ {
+		rec := testRecord(10+float64(i), 100, 5000)
+		rec.TimeUnix += int64(i)
+		if err := led.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, *rec)
+	}
+	got, skipped, err := led.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Fatalf("skipped %d lines on a clean ledger", skipped)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+	if got[0].Key == "" || got[0].Key != got[1].Key {
+		t.Fatalf("same-identity records must share a key, got %q vs %q", got[0].Key, got[1].Key)
+	}
+	if got[0].SchemaVersion != LedgerSchemaVersion {
+		t.Fatalf("schema version %d, want %d", got[0].SchemaVersion, LedgerSchemaVersion)
+	}
+}
+
+// TestLedgerMissingFile: a fresh ledger reads as empty, not as an error.
+func TestLedgerMissingFile(t *testing.T) {
+	led, err := OpenLedger(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, skipped, err := led.Read()
+	if err != nil || len(recs) != 0 || skipped != 0 {
+		t.Fatalf("fresh ledger: recs=%v skipped=%d err=%v, want empty/0/nil", recs, skipped, err)
+	}
+}
+
+// TestLedgerCorruptedLineSkip: garbage lines (truncated writes, editor
+// accidents) are counted and skipped; surrounding records survive.
+func TestLedgerCorruptedLineSkip(t *testing.T) {
+	dir := t.TempDir()
+	led, err := OpenLedger(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := led.Append(testRecord(10, 100, 5000)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, LedgerFile), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One truncated JSON line, one wrong-schema line, one blank line.
+	if _, err := f.WriteString("{\"schema_version\":1,\"key\":\"abc\",\"trunc\n{\"schema_version\":999,\"key\":\"abc\"}\n\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := led.Append(testRecord(11, 100, 5000)); err != nil {
+		t.Fatal(err)
+	}
+	recs, skipped, err := led.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2 (corruption must not take out neighbors)", len(recs))
+	}
+	if skipped != 2 {
+		t.Fatalf("skipped = %d, want 2 (blank lines are not corruption)", skipped)
+	}
+	if recs[0].Models[0].SimMIPS != 10 || recs[1].Models[0].SimMIPS != 11 {
+		t.Fatalf("wrong records survived: %+v", recs)
+	}
+}
+
+// TestDeriveKeySensitivity: the key must change when any identity field
+// changes and must ignore the measurements themselves.
+func TestDeriveKeySensitivity(t *testing.T) {
+	base := testRecord(10, 100, 5000)
+	key := base.DeriveKey()
+	mutations := []func(*LedgerRecord){
+		func(r *LedgerRecord) { r.GoVersion = "go1.23.0" },
+		func(r *LedgerRecord) { r.GOMAXPROCS = 4 },
+		func(r *LedgerRecord) { r.Workload = "other" },
+		func(r *LedgerRecord) { r.Config = "4W" },
+		func(r *LedgerRecord) { r.EngineVersion = "ooo-v2" },
+	}
+	for i, mut := range mutations {
+		r := testRecord(10, 100, 5000)
+		mut(r)
+		if r.DeriveKey() == key {
+			t.Errorf("mutation %d did not change the key", i)
+		}
+	}
+	measured := testRecord(99, 1, 1) // different numbers, same identity
+	if measured.DeriveKey() != key {
+		t.Fatal("measurements must not affect the key")
+	}
+}
+
+// TestTrendsFlagsInjectedRegression is the acceptance scenario: a history
+// of healthy runs, then an injected regression; Trends must flag it with
+// direction and magnitude.
+func TestTrendsFlagsInjectedRegression(t *testing.T) {
+	var recs []LedgerRecord
+	for i := 0; i < 4; i++ {
+		recs = append(recs, *testRecord(10, 100, 5000))
+	}
+	bad := testRecord(4, 100, 5000) // sim-MIPS down 60%
+	bad.SchemaVersion = LedgerSchemaVersion
+	bad.Key = bad.DeriveKey()
+	for i := range recs {
+		recs[i].SchemaVersion = LedgerSchemaVersion
+		recs[i].Key = recs[i].DeriveKey()
+	}
+	recs = append(recs, *bad)
+
+	trends := Trends(recs, 5, 0.30)
+	var hit *Trend
+	for i := range trends {
+		tr := &trends[i]
+		if tr.Model == "4W" && tr.Metric == "sim-MIPS" {
+			hit = tr
+		}
+		if tr.Metric != "sim-MIPS" && tr.Regressed {
+			t.Fatalf("metric %s/%s wrongly flagged: %+v", tr.Model, tr.Metric, tr)
+		}
+	}
+	if hit == nil {
+		t.Fatal("no 4W sim-MIPS trend reported")
+	}
+	if !hit.Regressed {
+		t.Fatalf("injected 60%% sim-MIPS drop not flagged: %+v", hit)
+	}
+	if hit.Change > -0.55 || hit.Change < -0.65 {
+		t.Fatalf("magnitude wrong: change = %+.2f, want about -0.60", hit.Change)
+	}
+	if hit.Baseline != 10 || hit.Latest != 4 || hit.Samples != 4 {
+		t.Fatalf("baseline/latest/samples = %v/%v/%d, want 10/4/4", hit.Baseline, hit.Latest, hit.Samples)
+	}
+}
+
+// TestTrendsAllocRegressionAndSlack: allocation regressions flag on a real
+// jump but not on pool-refill noise around a small baseline.
+func TestTrendsAllocRegressionAndSlack(t *testing.T) {
+	mk := func(allocs int64) LedgerRecord {
+		r := testRecord(10, allocs, 5000)
+		r.SchemaVersion = LedgerSchemaVersion
+		r.Key = r.DeriveKey()
+		return *r
+	}
+	// 0 -> 3 allocs: inside the absolute slack, not a regression.
+	recs := []LedgerRecord{mk(0), mk(0), mk(3)}
+	for _, tr := range Trends(recs, 5, 0.30) {
+		if tr.Metric == "allocs/run" && tr.Regressed {
+			t.Fatalf("3-alloc noise flagged as regression: %+v", tr)
+		}
+	}
+	// 100 -> 200 allocs: a real doubling must flag, direction up.
+	recs = []LedgerRecord{mk(100), mk(100), mk(200)}
+	var flagged bool
+	for _, tr := range Trends(recs, 5, 0.30) {
+		if tr.Model == "4W" && tr.Metric == "allocs/run" {
+			if !tr.Regressed {
+				t.Fatalf("alloc doubling not flagged: %+v", tr)
+			}
+			if tr.Change < 0.9 || tr.Change > 1.1 {
+				t.Fatalf("alloc change = %+.2f, want about +1.00", tr.Change)
+			}
+			flagged = true
+		}
+	}
+	if !flagged {
+		t.Fatal("no allocs/run trend for 4W")
+	}
+}
+
+// TestTrendsRespectsKeys: records from a different environment (different
+// key) must not pollute the baseline.
+func TestTrendsRespectsKeys(t *testing.T) {
+	slow := testRecord(2, 100, 5000)
+	slow.GoVersion = "go1.20.0" // different key
+	slow.SchemaVersion = LedgerSchemaVersion
+	slow.Key = slow.DeriveKey()
+	cur := func(mips float64) LedgerRecord {
+		r := testRecord(mips, 100, 5000)
+		r.SchemaVersion = LedgerSchemaVersion
+		r.Key = r.DeriveKey()
+		return *r
+	}
+	recs := []LedgerRecord{*slow, cur(10), cur(10)}
+	for _, tr := range Trends(recs, 5, 0.30) {
+		if tr.Regressed {
+			t.Fatalf("foreign-key record polluted the baseline: %+v", tr)
+		}
+		if tr.Model == "4W" && tr.Metric == "sim-MIPS" && tr.Samples != 1 {
+			t.Fatalf("baseline samples = %d, want 1 (only the same-key record)", tr.Samples)
+		}
+	}
+}
+
+// TestTrendsNoHistory: a single record yields trends with Samples == 0 and
+// nothing flagged.
+func TestTrendsNoHistory(t *testing.T) {
+	r := testRecord(10, 100, 5000)
+	r.SchemaVersion = LedgerSchemaVersion
+	r.Key = r.DeriveKey()
+	trends := Trends([]LedgerRecord{*r}, 5, 0.30)
+	if len(trends) == 0 {
+		t.Fatal("want trend rows even without history")
+	}
+	for _, tr := range trends {
+		if tr.Samples != 0 || tr.Regressed {
+			t.Fatalf("historyless trend must not flag: %+v", tr)
+		}
+	}
+	if Trends(nil, 5, 0.3) != nil {
+		t.Fatal("empty ledger must yield nil trends")
+	}
+}

@@ -1,0 +1,236 @@
+package metrics
+
+import (
+	"encoding/json"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestNilRegistryNoOps pins the disabled state: a nil registry hands out
+// nil handles, every operation no-ops, and nothing allocates.
+func TestNilRegistryNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z")
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil handles")
+	}
+	c.Add(5)
+	c.Inc()
+	g.Set(3.5)
+	h.Observe(7)
+	r.Reset()
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil handles must read zero")
+	}
+	s := r.Snapshot()
+	if s == nil || len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot must be empty, got %+v", s)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		c.Add(1)
+		g.Set(1)
+		h.Observe(1)
+	}); avg != 0 {
+		t.Fatalf("nil-handle updates allocate %.2f/op, want 0", avg)
+	}
+}
+
+// TestUpdatesAllocationFree pins the enabled hot path: updating existing
+// metrics performs no heap allocation.
+func TestUpdatesAllocationFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h")
+	if avg := testing.AllocsPerRun(100, func() {
+		c.Add(2)
+		g.Set(4.25)
+		h.Observe(12345)
+	}); avg != 0 {
+		t.Fatalf("metric updates allocate %.2f/op, want 0", avg)
+	}
+}
+
+func TestCounterGaugeHistogramValues(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("runs")
+	c.Add(3)
+	c.Inc()
+	if got := c.Value(); got != 4 {
+		t.Fatalf("counter = %d, want 4", got)
+	}
+	if c2 := r.Counter("runs"); c2 != c {
+		t.Fatal("same name must return the same counter")
+	}
+	g := r.Gauge("workers")
+	g.Set(8)
+	g.Set(3)
+	if got := g.Value(); got != 3 {
+		t.Fatalf("gauge = %v, want 3 (last value wins)", got)
+	}
+	h := r.Histogram("ns")
+	for _, v := range []int64{1, 2, 3, 1000, 7} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Sum() != 1013 {
+		t.Fatalf("histogram count/sum = %d/%d, want 5/1013", h.Count(), h.Sum())
+	}
+	snap := r.Snapshot()
+	var hs *HistogramSample
+	for i := range snap.Histograms {
+		if snap.Histograms[i].Name == "ns" {
+			hs = &snap.Histograms[i]
+		}
+	}
+	if hs == nil {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if hs.Min != 1 || hs.Max != 1000 {
+		t.Fatalf("histogram min/max = %d/%d, want 1/1000", hs.Min, hs.Max)
+	}
+	var n uint64
+	for _, b := range hs.Buckets {
+		n += b.Count
+	}
+	if n != 5 {
+		t.Fatalf("bucket counts sum to %d, want 5", n)
+	}
+}
+
+// TestBucketBoundaries pins the power-of-two bucket contract that
+// snapshot consumers rely on: bucket upper bounds are inclusive.
+func TestBucketBoundaries(t *testing.T) {
+	for _, tc := range []struct {
+		v  int64
+		le int64
+	}{{-5, 1}, {0, 1}, {1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {1024, 1024}, {1025, 2048}} {
+		h := newHistogram()
+		h.Observe(tc.v)
+		got := int64(0)
+		for i := range h.buckets {
+			if h.buckets[i].Load() == 1 {
+				got = BucketUpper(i)
+			}
+		}
+		if got != tc.le {
+			t.Errorf("Observe(%d) landed in bucket le=%d, want %d", tc.v, got, tc.le)
+		}
+	}
+}
+
+// TestSnapshotDeterministic pins the snapshot contract: two registries
+// that saw the same updates in different orders serialize identically, so
+// snapshot bytes are comparable across runs and worker schedules.
+func TestSnapshotDeterministic(t *testing.T) {
+	build := func(order []string) *Registry {
+		r := NewRegistry()
+		for _, name := range order {
+			r.Counter("c." + name).Add(int64(len(name)))
+			r.Gauge("g." + name).Set(float64(len(name)))
+			r.Histogram("h." + name).Observe(int64(len(name)))
+		}
+		return r
+	}
+	a := build([]string{"alpha", "bravo", "charlie"})
+	b := build([]string{"charlie", "alpha", "bravo"})
+	ja, err := json.Marshal(a.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := json.Marshal(b.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ja) != string(jb) {
+		t.Fatalf("snapshots differ by creation order:\n%s\n%s", ja, jb)
+	}
+	for i := 1; i < len(a.Snapshot().Counters); i++ {
+		s := a.Snapshot()
+		if s.Counters[i-1].Name >= s.Counters[i].Name {
+			t.Fatal("counters not sorted by name")
+		}
+	}
+}
+
+// TestConcurrentUpdatesAndSnapshots hammers one registry from many
+// goroutines (run under -race in CI) and checks the final totals: no
+// update may be lost or torn.
+func TestConcurrentUpdatesAndSnapshots(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared")
+			h := r.Histogram("hist")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				h.Observe(int64(i%100 + 1))
+				if i%1000 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("hist").Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	s := r.Snapshot()
+	var inBuckets uint64
+	for _, hs := range s.Histograms {
+		for _, b := range hs.Buckets {
+			inBuckets += b.Count
+		}
+	}
+	if inBuckets != workers*perWorker {
+		t.Fatalf("bucket total = %d, want %d", inBuckets, workers*perWorker)
+	}
+}
+
+// TestResetPreservesHandles: Reset zeroes values in place, and handles
+// handed out before the reset keep working.
+func TestResetPreservesHandles(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	h := r.Histogram("h")
+	c.Add(7)
+	h.Observe(9)
+	r.Reset()
+	if c.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("reset must zero values")
+	}
+	c.Add(2)
+	h.Observe(3)
+	if c.Value() != 2 || r.Counter("c").Value() != 2 {
+		t.Fatal("pre-reset handle must keep reporting into the registry")
+	}
+	snap := r.Snapshot()
+	want := []HistogramSample{{Name: "h", Count: 1, Sum: 3, Min: 3, Max: 3,
+		Buckets: []BucketSample{{Le: 4, Count: 1}}}}
+	if !reflect.DeepEqual(snap.Histograms, want) {
+		t.Fatalf("post-reset histogram snapshot = %+v, want %+v", snap.Histograms, want)
+	}
+}
+
+// TestSampleRuntime smoke-tests the runtime/metrics bridge: gauges exist
+// and carry plausible values.
+func TestSampleRuntime(t *testing.T) {
+	SampleRuntime(nil) // must not panic
+	r := NewRegistry()
+	SampleRuntime(r)
+	if v := r.Gauge("go.heap.objects_bytes").Value(); v <= 0 {
+		t.Fatalf("go.heap.objects_bytes = %v, want > 0", v)
+	}
+	if v := r.Gauge("go.mem.total_bytes").Value(); v <= 0 {
+		t.Fatalf("go.mem.total_bytes = %v, want > 0", v)
+	}
+}

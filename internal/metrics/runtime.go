@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"math"
+	rm "runtime/metrics"
+)
+
+// SampleRuntime refreshes the "go." gauges on r from the runtime/metrics
+// interface: heap footprint, GC cycle count, and the GC pause
+// distribution. Call it immediately before Snapshot (the values are
+// point-in-time, not accumulated by this package). No-op on a nil
+// registry.
+func SampleRuntime(r *Registry) {
+	if r == nil {
+		return
+	}
+	samples := []rm.Sample{
+		{Name: "/memory/classes/heap/objects:bytes"},
+		{Name: "/memory/classes/total:bytes"},
+		{Name: "/gc/cycles/total:gc-cycles"},
+		{Name: "/gc/pauses:seconds"},
+	}
+	rm.Read(samples)
+	for _, s := range samples {
+		switch s.Name {
+		case "/memory/classes/heap/objects:bytes":
+			if s.Value.Kind() == rm.KindUint64 {
+				r.Gauge("go.heap.objects_bytes").Set(float64(s.Value.Uint64()))
+			}
+		case "/memory/classes/total:bytes":
+			if s.Value.Kind() == rm.KindUint64 {
+				r.Gauge("go.mem.total_bytes").Set(float64(s.Value.Uint64()))
+			}
+		case "/gc/cycles/total:gc-cycles":
+			if s.Value.Kind() == rm.KindUint64 {
+				r.Gauge("go.gc.cycles").Set(float64(s.Value.Uint64()))
+			}
+		case "/gc/pauses:seconds":
+			if s.Value.Kind() != rm.KindFloat64Histogram {
+				continue
+			}
+			h := s.Value.Float64Histogram()
+			count, p50, max := summarizeFloatHist(h)
+			r.Gauge("go.gc.pauses").Set(float64(count))
+			r.Gauge("go.gc.pause_p50_ns").Set(p50 * 1e9)
+			r.Gauge("go.gc.pause_max_ns").Set(max * 1e9)
+		}
+	}
+}
+
+// summarizeFloatHist reduces a runtime float64 histogram to observation
+// count, approximate median, and the upper bound of the highest non-empty
+// bucket (the conservative "max"). Unbounded edges fall back to the
+// nearest finite boundary.
+func summarizeFloatHist(h *rm.Float64Histogram) (count uint64, p50, max float64) {
+	for _, c := range h.Counts {
+		count += c
+	}
+	if count == 0 {
+		return 0, 0, 0
+	}
+	var seen uint64
+	half := (count + 1) / 2
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		lo, hi := bucketEdges(h.Buckets, i)
+		if seen < half && seen+c >= half && p50 == 0 {
+			p50 = (lo + hi) / 2
+		}
+		max = hi
+		seen += c
+	}
+	return count, p50, max
+}
+
+// bucketEdges returns finite edges for bucket i of a runtime histogram
+// (Buckets has len(Counts)+1 boundaries, possibly ±Inf at the ends).
+func bucketEdges(edges []float64, i int) (lo, hi float64) {
+	lo, hi = edges[i], edges[i+1]
+	if math.IsInf(lo, -1) || math.IsNaN(lo) || lo < 0 {
+		lo = 0
+	}
+	if math.IsInf(hi, 1) || math.IsNaN(hi) {
+		hi = lo
+	}
+	return lo, hi
+}

@@ -1,0 +1,266 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// This file implements hierarchical span tracing of sweep execution:
+// sweep → experiment → cell → record/replay phases. Spans form a tree —
+// each span's parent is the innermost span still open on the goroutine
+// that begins it (or one passed explicitly with BeginOn, which is how a
+// worker's cell spans attach to the sweep span begun by the scheduler
+// goroutine) — and every span carries a display track (one per sweep
+// worker), so the emitted Chrome trace-event JSON renders in Perfetto or
+// chrome://tracing as one lane per worker with phases nested inside cells.
+
+// SpanID identifies a span within its Timeline.
+type SpanID int32
+
+// NoSpan is the id returned by Begin on a nil Timeline; End ignores it.
+const NoSpan SpanID = -1
+
+// Span is one closed or open interval of the timeline. Times are offsets
+// from the timeline epoch; End is negative while the span is open.
+type Span struct {
+	Name   string
+	Cat    string
+	Track  int
+	Parent SpanID
+	Start  time.Duration
+	End    time.Duration
+}
+
+// Timeline collects spans. A nil *Timeline is the disabled state: Begin
+// returns NoSpan and every other method no-ops, so instrumented code pays
+// one nil check when tracing is off.
+type Timeline struct {
+	epoch time.Time
+	mu    sync.Mutex
+	spans []Span
+	gs    sync.Map // goroutine id -> *gstate
+}
+
+// gstate is the per-goroutine open-span stack and display track. It is
+// only ever touched by its own goroutine, so the fields need no lock; the
+// sync.Map provides the concurrent id -> state lookup.
+type gstate struct {
+	track int
+	stack []SpanID
+}
+
+// NewTimeline returns an empty timeline whose epoch is now.
+func NewTimeline() *Timeline {
+	return &Timeline{epoch: time.Now()}
+}
+
+// goid parses the current goroutine id from the runtime.Stack header
+// ("goroutine N [...]"). It costs about a microsecond — paid once per span
+// begin/end, never inside the simulation hot loop.
+func goid() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	const prefix = len("goroutine ")
+	var id uint64
+	for _, b := range buf[prefix:n] {
+		if b < '0' || b > '9' {
+			break
+		}
+		id = id*10 + uint64(b-'0')
+	}
+	return id
+}
+
+func (tl *Timeline) gstate() *gstate {
+	id := goid()
+	if v, ok := tl.gs.Load(id); ok {
+		return v.(*gstate)
+	}
+	g := &gstate{}
+	tl.gs.Store(id, g)
+	return g
+}
+
+// BindTrack assigns the calling goroutine's spans to display track tid
+// (sweep workers bind 1..N; the scheduler goroutine keeps the default 0).
+func (tl *Timeline) BindTrack(tid int) {
+	if tl == nil {
+		return
+	}
+	tl.gstate().track = tid
+}
+
+// ReleaseTrack drops the calling goroutine's timeline state. Worker
+// goroutines call it (deferred) so a long-lived timeline does not
+// accumulate state for goroutines that have exited.
+func (tl *Timeline) ReleaseTrack() {
+	if tl == nil {
+		return
+	}
+	tl.gs.Delete(goid())
+}
+
+// Begin opens a span whose parent is the innermost span currently open on
+// this goroutine (NoSpan at top level). Returns NoSpan on a nil timeline.
+func (tl *Timeline) Begin(cat, name string) SpanID {
+	if tl == nil {
+		return NoSpan
+	}
+	g := tl.gstate()
+	parent := NoSpan
+	if n := len(g.stack); n > 0 {
+		parent = g.stack[n-1]
+	}
+	return tl.begin(g, parent, cat, name)
+}
+
+// BeginOn opens a span with an explicit parent — used when the parent was
+// begun by a different goroutine (a worker's cell span under the
+// scheduler's sweep span). The new span still joins this goroutine's open
+// stack, so spans begun inside it nest beneath it.
+func (tl *Timeline) BeginOn(parent SpanID, cat, name string) SpanID {
+	if tl == nil {
+		return NoSpan
+	}
+	return tl.begin(tl.gstate(), parent, cat, name)
+}
+
+func (tl *Timeline) begin(g *gstate, parent SpanID, cat, name string) SpanID {
+	now := time.Since(tl.epoch)
+	tl.mu.Lock()
+	id := SpanID(len(tl.spans))
+	tl.spans = append(tl.spans, Span{Name: name, Cat: cat, Track: g.track, Parent: parent, Start: now, End: -1})
+	tl.mu.Unlock()
+	g.stack = append(g.stack, id)
+	return id
+}
+
+// End closes the span (idempotent; NoSpan and out-of-range ids are
+// ignored) and pops it — with anything begun after it and left open — off
+// the calling goroutine's stack.
+func (tl *Timeline) End(id SpanID) {
+	if tl == nil || id < 0 {
+		return
+	}
+	now := time.Since(tl.epoch)
+	tl.mu.Lock()
+	if int(id) < len(tl.spans) && tl.spans[id].End < 0 {
+		tl.spans[id].End = now
+	}
+	tl.mu.Unlock()
+	g := tl.gstate()
+	for i := len(g.stack) - 1; i >= 0; i-- {
+		if g.stack[i] == id {
+			g.stack = g.stack[:i]
+			break
+		}
+	}
+}
+
+// Spans returns a copy of all spans recorded so far, in begin order.
+func (tl *Timeline) Spans() []Span {
+	if tl == nil {
+		return nil
+	}
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	out := make([]Span, len(tl.spans))
+	copy(out, tl.spans)
+	return out
+}
+
+// traceEvent is one Chrome trace-event JSON object (the subset Perfetto
+// and chrome://tracing consume: complete "X" events plus thread-name "M"
+// metadata).
+type traceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace emits the timeline in Chrome trace-event JSON ("trace
+// events" array format), loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. Spans still open render as if they ended now. Track 0
+// is named "main"; track i>0 "worker i".
+func (tl *Timeline) WriteChromeTrace(w io.Writer) error {
+	if tl == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[],"displayTimeUnit":"ms"}`+"\n")
+		return err
+	}
+	spans := tl.Spans()
+	now := time.Since(tl.epoch)
+	events := make([]traceEvent, 0, len(spans)+8)
+	seen := map[int]bool{}
+	var tracks []int
+	for _, s := range spans {
+		if !seen[s.Track] {
+			seen[s.Track] = true
+			tracks = append(tracks, s.Track)
+		}
+	}
+	sort.Ints(tracks)
+	for _, t := range tracks {
+		name := "main"
+		if t > 0 {
+			name = "worker " + itoa(t)
+		}
+		events = append(events, traceEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: t,
+			Args: map[string]string{"name": name},
+		})
+	}
+	for _, s := range spans {
+		end := s.End
+		if end < 0 {
+			end = now
+		}
+		events = append(events, traceEvent{
+			Name: s.Name,
+			Cat:  s.Cat,
+			Ph:   "X",
+			TS:   float64(s.Start.Nanoseconds()) / 1e3,
+			Dur:  float64((end - s.Start).Nanoseconds()) / 1e3,
+			PID:  1,
+			TID:  s.Track,
+		})
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":`); err != nil {
+		return err
+	}
+	if err := enc.Encode(events); err != nil {
+		return err
+	}
+	// Encode terminates the array with a newline; close the wrapper object
+	// on its own line.
+	if _, err := bw.WriteString("}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// itoa avoids strconv just for track names.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

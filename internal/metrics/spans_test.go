@@ -1,0 +1,187 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNilTimelineNoOps pins the disabled state of span tracing.
+func TestNilTimelineNoOps(t *testing.T) {
+	var tl *Timeline
+	sp := tl.Begin("cat", "name")
+	if sp != NoSpan {
+		t.Fatalf("nil Begin = %d, want NoSpan", sp)
+	}
+	tl.End(sp)
+	tl.BindTrack(3)
+	tl.ReleaseTrack()
+	if tl.Spans() != nil {
+		t.Fatal("nil Spans() must be nil")
+	}
+	var buf bytes.Buffer
+	if err := tl.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil timeline still writes valid JSON: %v", err)
+	}
+}
+
+// TestSpanNesting: spans begun while another is open on the same
+// goroutine become its children, and children close inside their parents.
+func TestSpanNesting(t *testing.T) {
+	tl := NewTimeline()
+	root := tl.Begin("a", "root")
+	child := tl.Begin("b", "child")
+	grand := tl.Begin("c", "grandchild")
+	tl.End(grand)
+	tl.End(child)
+	sib := tl.Begin("b", "sibling")
+	tl.End(sib)
+	tl.End(root)
+
+	spans := tl.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	byName := map[string]Span{}
+	idByName := map[string]SpanID{}
+	for i, s := range spans {
+		byName[s.Name] = s
+		idByName[s.Name] = SpanID(i)
+	}
+	if byName["root"].Parent != NoSpan {
+		t.Fatal("root must have no parent")
+	}
+	if byName["child"].Parent != idByName["root"] || byName["sibling"].Parent != idByName["root"] {
+		t.Fatal("child/sibling must parent to root")
+	}
+	if byName["grandchild"].Parent != idByName["child"] {
+		t.Fatal("grandchild must parent to child")
+	}
+	for _, s := range spans {
+		if s.End < s.Start {
+			t.Fatalf("span %q not closed or negative: %+v", s.Name, s)
+		}
+		if s.Parent >= 0 {
+			p := spans[s.Parent]
+			if s.Start < p.Start || s.End > p.End {
+				t.Fatalf("span %q [%v,%v] escapes parent %q [%v,%v]",
+					s.Name, s.Start, s.End, p.Name, p.Start, p.End)
+			}
+		}
+	}
+	if byName["child"].End > byName["sibling"].Start {
+		t.Fatal("sequential siblings must not overlap")
+	}
+}
+
+// TestBeginOnCrossGoroutine: workers attach their spans to a parent begun
+// by another goroutine, each on its own display track.
+func TestBeginOnCrossGoroutine(t *testing.T) {
+	tl := NewTimeline()
+	parent := tl.Begin("sweep", "sweep")
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tl.BindTrack(w + 1)
+			defer tl.ReleaseTrack()
+			for i := 0; i < 3; i++ {
+				sp := tl.BeginOn(parent, "cell", "cell")
+				inner := tl.Begin("phase", "record")
+				tl.End(inner)
+				tl.End(sp)
+			}
+		}(w)
+	}
+	wg.Wait()
+	tl.End(parent)
+
+	spans := tl.Spans()
+	var cells, phases int
+	for i, s := range spans {
+		switch s.Cat {
+		case "cell":
+			cells++
+			if s.Parent != 0 {
+				t.Fatalf("cell span parent = %d, want sweep (0)", s.Parent)
+			}
+			if s.Track < 1 || s.Track > 4 {
+				t.Fatalf("cell span on track %d, want 1..4", s.Track)
+			}
+		case "phase":
+			phases++
+			p := spans[s.Parent]
+			if p.Cat != "cell" || p.Track != s.Track {
+				t.Fatalf("phase span %d must nest in its goroutine's cell span, got parent %+v", i, p)
+			}
+		}
+	}
+	if cells != 12 || phases != 12 {
+		t.Fatalf("got %d cells, %d phases; want 12, 12", cells, phases)
+	}
+	// Per-track spans must tile: sorted by start, no overlap.
+	byTrack := map[int][]Span{}
+	for _, s := range spans {
+		if s.Cat == "cell" {
+			byTrack[s.Track] = append(byTrack[s.Track], s)
+		}
+	}
+	for tr, ss := range byTrack {
+		for i := 1; i < len(ss); i++ {
+			if ss[i].Start < ss[i-1].End {
+				t.Fatalf("track %d: cell spans overlap: %+v then %+v", tr, ss[i-1], ss[i])
+			}
+		}
+	}
+}
+
+// TestChromeTraceOutput validates the emitted JSON structurally.
+func TestChromeTraceOutput(t *testing.T) {
+	tl := NewTimeline()
+	root := tl.Begin("cmd", "asplos2000")
+	sp := tl.Begin("cell", "kernel blowfish/rot")
+	tl.End(sp)
+	tl.End(root)
+	var buf bytes.Buffer
+	if err := tl.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			TID  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid chrome trace JSON: %v\n%s", err, buf.String())
+	}
+	var xEvents, mEvents int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			xEvents++
+			if ev.TS < 0 || ev.Dur < 0 {
+				t.Fatalf("negative ts/dur in %+v", ev)
+			}
+		case "M":
+			mEvents++
+		}
+	}
+	if xEvents != 2 || mEvents == 0 {
+		t.Fatalf("got %d X events (want 2), %d M events (want >0)", xEvents, mEvents)
+	}
+	if !strings.Contains(buf.String(), "asplos2000") {
+		t.Fatal("span names missing from output")
+	}
+}

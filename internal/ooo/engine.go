@@ -10,6 +10,7 @@ import (
 	"cryptoarch/internal/core"
 	"cryptoarch/internal/emu"
 	"cryptoarch/internal/isa"
+	"cryptoarch/internal/metrics"
 )
 
 // Stream supplies the committed-path dynamic instruction stream.
@@ -281,6 +282,10 @@ type Engine struct {
 
 	// Checked-mode rotating cursor over large windows (invariants.go).
 	checkCursor uint64
+
+	// Telemetry registry (metrics.go); nil unless attached. Touched only
+	// at run completion, never in the per-cycle loop.
+	metrics *metrics.Registry
 }
 
 // NewEngine creates a timing engine for cfg over src.
@@ -494,8 +499,17 @@ func (e *Engine) WarmCode(n int) {
 	}
 }
 
-// Run drives the model to completion and returns the statistics.
+// Run drives the model to completion and returns the statistics. When a
+// metrics registry is attached (SetMetrics), run totals are accumulated
+// onto it afterwards; the simulated statistics are identical either way.
 func (e *Engine) Run() (*Stats, error) {
+	if e.metrics == nil {
+		return e.run()
+	}
+	return e.runMetered()
+}
+
+func (e *Engine) run() (*Stats, error) {
 	const idleLimit = 1 << 22
 	var idle uint64
 	for {

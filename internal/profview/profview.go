@@ -7,6 +7,7 @@
 package profview
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -147,6 +148,19 @@ type Report struct {
 	Metric       string  `json:"metric"`
 	TotalWeight  uint64  `json:"total_weight"`
 	Hot          []HotPC `json:"hot"`
+}
+
+// ReportSchemaVersion stamps the JSON rendering of a profile report; bump
+// on field renames or meaning changes.
+const ReportSchemaVersion = 1
+
+// MarshalJSON stamps schema_version onto every JSON rendering.
+func (r Report) MarshalJSON() ([]byte, error) {
+	type alias Report // drops the method, avoiding recursion
+	return json.Marshal(struct {
+		SchemaVersion int `json:"schema_version"`
+		alias
+	}{ReportSchemaVersion, alias(r)})
 }
 
 // BuildReport assembles the JSON report with the top-n hot PCs.
