@@ -1,8 +1,10 @@
 // Command simbench measures the simulator's own speed — simulated MIPS
 // per machine model, steady-state allocation rate, trace record/replay
-// cost, and the serial vs parallel wall time of the full experiment
-// sweep — and writes the result as machine-readable JSON (BENCH_PR6.json
-// by default) so performance trajectories can be compared across commits.
+// cost, time-parallel chunked replay and interval sampling (speed and
+// accuracy vs the serial golden run), and the serial vs parallel wall
+// time of the full experiment sweep — and writes the result as
+// machine-readable JSON (BENCH_PR7.json by default) so performance
+// trajectories can be compared across commits.
 // Every run also appends one record to a persistent ledger
 // (.simledger/ledger.jsonl); -history reads the ledger back, compares the
 // newest run against a rolling baseline of earlier comparable runs, and
@@ -67,6 +69,10 @@ type result struct {
 	LedgerKey          string       `json:"ledger_key,omitempty"`
 	TraceRecordSeconds float64      `json:"trace_record_seconds"`
 	Models             []modelBench `json:"models"`
+	// ChunkedBench/SampledBench measure the approximate replay modes
+	// against the serial models above (same workload, same trace).
+	ChunkedBench []chunkBench  `json:"chunked_bench,omitempty"`
+	SampledBench []sampleBench `json:"sampled_bench,omitempty"`
 	// TraceCache snapshots the harness cache counters after the per-model
 	// benchmark loop: hit/miss traffic of the replay path under test.
 	TraceCache           harness.TraceCacheStats `json:"trace_cache"`
@@ -121,6 +127,118 @@ func benchModel(cfg ooo.Config) (modelBench, error) {
 	}, nil
 }
 
+// chunkBench is one model's time-parallel chunked-replay measurement:
+// wall speed at an explicit worker override, plus the accuracy of the
+// stitched cycle count against the serial golden run. On a single-CPU
+// host the workers serialize and SpeedupVsSerial hovers near (or below)
+// 1; the field is honest wall clock, not an extrapolation.
+type chunkBench struct {
+	Model           string  `json:"model"`
+	Chunks          int     `json:"chunks"`
+	Workers         int     `json:"workers"`
+	Instructions    uint64  `json:"simulated_instructions"`
+	SecPerRun       float64 `json:"seconds_per_run"`
+	SimMIPS         float64 `json:"simulated_mips"`
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+	// IdealSpeedup is the simulated-work ratio serial/slowest-chunk — the
+	// wall-clock speedup the same run reaches once every chunk worker has
+	// its own core.
+	IdealSpeedup   float64 `json:"ideal_speedup"`
+	CycleRelErr    float64 `json:"cycle_rel_err"`
+	DiscardedInsts uint64  `json:"discarded_insts"`
+}
+
+// sampleBench is one model's interval-sampling measurement. SimMIPS rates
+// the instructions actually simulated (measured windows plus warmup);
+// EffectiveSimMIPS rates the instructions the extrapolation represents —
+// the throughput a sweep cell experiences.
+type sampleBench struct {
+	Model            string  `json:"model"`
+	Intervals        int     `json:"intervals"`
+	IntervalInsts    int     `json:"interval_insts"`
+	WarmupInsts      int     `json:"warmup_insts"`
+	Coverage         float64 `json:"coverage"`
+	SecPerRun        float64 `json:"seconds_per_run"`
+	SimMIPS          float64 `json:"simulated_mips"`
+	EffectiveSimMIPS float64 `json:"effective_simulated_mips"`
+	SpeedupVsSerial  float64 `json:"speedup_vs_serial"`
+	CycleRelErr      float64 `json:"cycle_rel_err"`
+	ReportedErrBound float64 `json:"reported_err_bound"`
+}
+
+func relErr(got, want uint64) float64 {
+	d := float64(got) - float64(want)
+	if d < 0 {
+		d = -d
+	}
+	return d / float64(want)
+}
+
+// benchChunked measures chunked replay for one model against its serial
+// measurement (which also warmed the trace cache).
+func benchChunked(cfg ooo.Config, serial modelBench, chunks, workers int) (chunkBench, error) {
+	opt := harness.ChunkOptions{Chunks: chunks, Workers: workers}
+	st, rep, err := harness.TimeKernelChunked(benchCipher, isa.FeatRot, cfg, benchSession, experiments.DefaultSeed, opt)
+	if err != nil {
+		return chunkBench{}, err
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := harness.TimeKernelChunked(benchCipher, isa.FeatRot, cfg, benchSession, experiments.DefaultSeed, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	sec := r.T.Seconds() / float64(r.N)
+	slowestChunk := st.Instructions/uint64(rep.Chunks) + uint64(rep.WarmupInsts)
+	return chunkBench{
+		Model:           cfg.Name,
+		Chunks:          rep.Chunks,
+		Workers:         rep.Workers,
+		Instructions:    st.Instructions,
+		SecPerRun:       sec,
+		SimMIPS:         float64(st.Instructions) / sec / 1e6,
+		SpeedupVsSerial: serial.SecPerRun / sec,
+		IdealSpeedup:    float64(st.Instructions) / float64(slowestChunk),
+		CycleRelErr:     relErr(st.Cycles, serial.Cycles),
+		DiscardedInsts:  rep.DiscardedInsts,
+	}, nil
+}
+
+// benchSampled measures interval sampling for one model against its
+// serial measurement.
+func benchSampled(cfg ooo.Config, serial modelBench, intervals int) (sampleBench, error) {
+	// L=4096 keeps the per-window drain bias (the dominant error term, ~1/L)
+	// a few percent; K=4 of them cover ~9% of the bench session.
+	opt := harness.SampleOptions{Intervals: intervals, IntervalInsts: 4096, WarmupInsts: 2048}
+	st, rep, err := harness.TimeKernelSampled(benchCipher, isa.FeatRot, cfg, benchSession, experiments.DefaultSeed, opt)
+	if err != nil {
+		return sampleBench{}, err
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := harness.TimeKernelSampled(benchCipher, isa.FeatRot, cfg, benchSession, experiments.DefaultSeed, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	sec := r.T.Seconds() / float64(r.N)
+	simulated := rep.SampledInsts + uint64(rep.Intervals*rep.WarmupInsts)
+	return sampleBench{
+		Model:            cfg.Name,
+		Intervals:        rep.Intervals,
+		IntervalInsts:    rep.IntervalInsts,
+		WarmupInsts:      rep.WarmupInsts,
+		Coverage:         rep.Coverage,
+		SecPerRun:        sec,
+		SimMIPS:          float64(simulated) / sec / 1e6,
+		EffectiveSimMIPS: float64(rep.TotalInsts) / sec / 1e6,
+		SpeedupVsSerial:  serial.SecPerRun / sec,
+		CycleRelErr:      relErr(st.Cycles, serial.Cycles),
+		ReportedErrBound: rep.RelErrBound,
+	}, nil
+}
+
 func timedSweep(workers int) float64 {
 	experiments.ResetCache() // drops cell results and recorded traces
 	prev := experiments.SetParallelism(workers)
@@ -161,6 +279,29 @@ func checkBaseline(fresh []modelBench, path string) error {
 	}
 	if len(bad) > 0 {
 		return fmt.Errorf("bench regression vs %s:\n  %v", path, bad)
+	}
+	return nil
+}
+
+// checkAccuracy gates the approximate replay modes on the accuracy they
+// just measured against the serial golden run: chunked stitched cycles
+// within 5%, sampled extrapolated cycles within 15%. These are the same
+// bounds the harness tests enforce; failing here means the modes drifted
+// on the real bench workload.
+func checkAccuracy(chunked []chunkBench, sampled []sampleBench) error {
+	var bad []string
+	for _, c := range chunked {
+		if c.CycleRelErr > 0.05 {
+			bad = append(bad, fmt.Sprintf("chunked %s: cycle error %.4f > 0.05", c.Model, c.CycleRelErr))
+		}
+	}
+	for _, s := range sampled {
+		if s.CycleRelErr > 0.15 {
+			bad = append(bad, fmt.Sprintf("sampled %s: cycle error %.4f > 0.15", s.Model, s.CycleRelErr))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("approximate-mode accuracy gate failed:\n  %v", bad)
 	}
 	return nil
 }
@@ -222,8 +363,11 @@ func runHistory(dir string, window int, tol float64) int {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR6.json", "output file (\"-\" for stdout)")
+	out := flag.String("o", "BENCH_PR7.json", "output file (\"-\" for stdout)")
 	skipSweep := flag.Bool("nosweep", false, "skip the full-suite sweep timing (much faster)")
+	chunks := flag.Int("chunks", 8, "chunk count for the chunked-replay benchmark (0 disables)")
+	chunkWorkers := flag.Int("chunkworkers", 8, "explicit worker override for the chunked-replay benchmark")
+	sample := flag.Int("sample", 4, "interval count for the sampling benchmark (0 disables)")
 	check := flag.String("check", "", "baseline JSON to compare against; exit non-zero if finite-model sim-MIPS drops below 50%")
 	ledgerDir := flag.String("ledger", ".simledger", "run-ledger directory (\"\" disables the ledger)")
 	history := flag.Bool("history", false, "don't benchmark; compare the newest ledger record against its rolling baseline and exit non-zero on regression")
@@ -259,6 +403,34 @@ func main() {
 			mb.Model, 1e3*mb.SecPerRun, mb.SimMIPS, mb.AllocsPerRun)
 		res.Models = append(res.Models, mb)
 	}
+	for _, cfg := range []ooo.Config{ooo.FourWide, ooo.EightWidePlus} {
+		var serial modelBench
+		for _, m := range res.Models {
+			if m.Model == cfg.Name {
+				serial = m
+			}
+		}
+		if *chunks > 1 {
+			cb, err := benchChunked(cfg, serial, *chunks, *chunkWorkers)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "simbench:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "%-4s %8.1f ms/run (chunked x%d/%dw)  %6.2f sim-MIPS  %.2fx vs serial  cycle err %.4f\n",
+				cb.Model, 1e3*cb.SecPerRun, cb.Chunks, cb.Workers, cb.SimMIPS, cb.SpeedupVsSerial, cb.CycleRelErr)
+			res.ChunkedBench = append(res.ChunkedBench, cb)
+		}
+		if *sample > 1 {
+			sb, err := benchSampled(cfg, serial, *sample)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "simbench:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "%-4s %8.1f ms/run (sampled K=%d)  %6.2f eff-MIPS  %.2fx vs serial  cycle err %.4f (bound %.4f)\n",
+				sb.Model, 1e3*sb.SecPerRun, sb.Intervals, sb.EffectiveSimMIPS, sb.SpeedupVsSerial, sb.CycleRelErr, sb.ReportedErrBound)
+			res.SampledBench = append(res.SampledBench, sb)
+		}
+	}
 	res.TraceCache = harness.ReadTraceCacheStats()
 	fmt.Fprintf(os.Stderr, "trace cache: %d hits, %d misses (%d records, %d replays, %d live)\n",
 		res.TraceCache.Hits, res.TraceCache.Misses, res.TraceCache.Records,
@@ -292,6 +464,19 @@ func main() {
 				AllocsPerRun: m.AllocsPerRun, BytesPerRun: m.BytesPerRun,
 			})
 		}
+		// The approximate modes ride the same ledger under derived model
+		// names, so -history tracks their trajectories too: chunked by
+		// replay throughput, sampled by effective (represented) throughput.
+		for _, c := range res.ChunkedBench {
+			rec.Models = append(rec.Models, metrics.LedgerModel{
+				Model: c.Model + "/c" + fmt.Sprint(c.Chunks), SimMIPS: c.SimMIPS,
+			})
+		}
+		for _, s := range res.SampledBench {
+			rec.Models = append(rec.Models, metrics.LedgerModel{
+				Model: s.Model + "/s" + fmt.Sprint(s.Intervals), SimMIPS: s.EffectiveSimMIPS,
+			})
+		}
 		if err := l.Append(&rec); err != nil {
 			fmt.Fprintln(os.Stderr, "simbench:", err)
 			os.Exit(1)
@@ -304,6 +489,10 @@ func main() {
 	res.Metrics = reg.Snapshot()
 	if *check != "" {
 		if err := checkBaseline(res.Models, *check); err != nil {
+			fmt.Fprintln(os.Stderr, "simbench:", err)
+			os.Exit(1)
+		}
+		if err := checkAccuracy(res.ChunkedBench, res.SampledBench); err != nil {
 			fmt.Fprintln(os.Stderr, "simbench:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,69 @@
+package emu
+
+import (
+	"cryptoarch/internal/isa"
+	"cryptoarch/internal/simmem"
+)
+
+// This file provides mid-trace architectural snapshots. Time-parallel
+// chunked replay splits one recorded trace into chunks simulated on
+// separate workers; when a chunk must fall back to live execution (the
+// oversized-trace resume path), the worker needs a machine positioned at
+// an arbitrary record boundary without re-running the prefix. A Snapshot
+// captures the complete architectural state — registers, PC, instruction
+// count, and a deep copy of the memory arena — and can be materialized
+// into any number of independent machines.
+
+// Snapshot is the full architectural state of a Machine at an instruction
+// boundary. It is immutable after Machine.Snapshot returns: the arena is
+// deep copied both when the snapshot is taken and each time it is
+// materialized, so neither the original machine nor any materialized
+// machine can alias another's memory.
+type Snapshot struct {
+	r        [isa.NumRegs]uint64
+	pc       int
+	icount   uint64
+	maxInsts uint64
+	halted   bool
+	prog     *isa.Program
+	mem      *simmem.Mem
+}
+
+// Icount reports the number of instructions retired when the snapshot was
+// taken — the trace-record index of the boundary it represents.
+func (s *Snapshot) Icount() uint64 { return s.icount }
+
+// Snapshot captures the machine's architectural state at its current
+// instruction boundary. The machine must not have faulted (Err() == nil);
+// a halted machine may be snapshotted (the materialized machine is halted
+// too). The memory arena is deep copied, so the snapshot stays valid
+// however the machine runs on.
+func (m *Machine) Snapshot() *Snapshot {
+	s := &Snapshot{
+		r:        m.R,
+		pc:       m.PC,
+		icount:   m.Icount,
+		maxInsts: m.MaxInsts,
+		halted:   m.halted,
+		prog:     m.Prog,
+		mem:      m.Mem.Clone(),
+	}
+	return s
+}
+
+// Materialize builds a fresh, independent Machine positioned exactly at
+// the snapshot boundary. The arena is re-cloned on every call, so one
+// snapshot can seed any number of concurrent machines.
+func (s *Snapshot) Materialize() *Machine {
+	m := &Machine{
+		Mem:      s.mem.Clone(),
+		Prog:     s.prog,
+		MaxInsts: s.maxInsts,
+		code:     s.prog.Code,
+		halted:   s.halted,
+	}
+	m.R = s.r
+	m.PC = s.pc
+	m.Icount = s.icount
+	return m
+}

@@ -155,6 +155,24 @@ func (t *Trace) Stream() *ReplayStream {
 	return &ReplayStream{prog: t.Prog, recs: t.Recs}
 }
 
+// StreamAt starts a replay of the half-open record window [start, end).
+// Chunked replay uses it to hand each worker its own window (warmup prefix
+// plus measured body) over the shared immutable record slab. Bounds are
+// clamped to the trace; an empty or inverted window yields an immediately
+// exhausted stream.
+func (t *Trace) StreamAt(start, end int) *ReplayStream {
+	if start < 0 {
+		start = 0
+	}
+	if end > len(t.Recs) {
+		end = len(t.Recs)
+	}
+	if start > end {
+		start = end
+	}
+	return &ReplayStream{prog: t.Prog, recs: t.Recs[start:end]}
+}
+
 // InstCount is the total number of instructions the stream will deliver;
 // the timing engine uses it to pre-size its in-flight ring.
 func (s *ReplayStream) InstCount() int { return len(s.recs) }
@@ -211,3 +229,19 @@ func (s *ResumeStream) Next() (*Rec, bool) {
 // a budget-exceeded resume run fails the timing engine instead of
 // silently truncating the session.
 func (s *ResumeStream) Err() error { return s.m.Err() }
+
+// ResumeAt builds a stream that replays records [start, len) of the trace
+// and then continues live on m, which must be positioned exactly after the
+// trace's last record (as Record leaves it, or a Snapshot of that machine
+// materialized). This is the chunk-addressable form of Resume: the final
+// chunk of an oversized trace replays only its own window of the recorded
+// prefix before going live.
+func (t *Trace) ResumeAt(m *Machine, start int) *ResumeStream {
+	if start < 0 {
+		start = 0
+	}
+	if start > len(t.Recs) {
+		start = len(t.Recs)
+	}
+	return &ResumeStream{rs: ReplayStream{prog: t.Prog, recs: t.Recs[start:]}, m: m}
+}

@@ -10,7 +10,7 @@ import (
 
 // newPair builds two identical machines over a real kernel so one can be
 // recorded and the other stepped live for comparison.
-func newPair(t *testing.T, name string, feat isa.Feature, session int) (*emu.Machine, *emu.Machine) {
+func newPair(t testing.TB, name string, feat isa.Feature, session int) (*emu.Machine, *emu.Machine) {
 	t.Helper()
 	k, err := kernels.Get(name)
 	if err != nil {

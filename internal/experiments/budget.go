@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"sync/atomic"
+
+	"cryptoarch/internal/harness"
+	"cryptoarch/internal/ooo"
+)
+
+// Per-cell simulation budget. The sweep's default is the exact serial
+// path — every published table and figure is regenerated bit-identically.
+// A budget switches CellKernel timing cells (the bulk of sweep work) to
+// one of the approximate execution modes from the harness: time-parallel
+// chunked replay (exact instruction counts, seam-bounded cycles) or
+// interval sampling (extrapolated cycles with a reported dispersion
+// bound). Cells that have no trace to address fall back to exact runs on
+// their own; ApproxCellCount says how many cells actually took an
+// approximate path, so front-ends can refuse to write golden outputs
+// produced under a budget.
+
+// BudgetMode selects how CellKernel cells execute.
+type BudgetMode int
+
+const (
+	// BudgetExact is the golden serial path (the default).
+	BudgetExact BudgetMode = iota
+	// BudgetChunked runs time-parallel chunked replay.
+	BudgetChunked
+	// BudgetSampled runs interval sampling.
+	BudgetSampled
+)
+
+// CellBudget configures the approximate execution of CellKernel cells.
+// Zero-valued fields take the harness defaults.
+type CellBudget struct {
+	Mode BudgetMode
+	// Chunks is the chunk count for BudgetChunked.
+	Chunks int
+	// SampleIntervals and SampleIntervalInsts are K and L for
+	// BudgetSampled.
+	SampleIntervals     int
+	SampleIntervalInsts int
+	// WarmupInsts overrides the per-chunk / per-interval warmup prefix.
+	WarmupInsts int
+}
+
+var (
+	cellBudget  atomic.Pointer[CellBudget]
+	approxCells atomic.Int64
+)
+
+// SetCellBudget installs the budget for subsequent cell executions and
+// returns the previous one (nil means exact). It does not invalidate the
+// cell cache: cells already executed keep their results, so front-ends
+// set the budget before the first sweep (or call ResetCache).
+func SetCellBudget(b *CellBudget) *CellBudget {
+	return cellBudget.Swap(b)
+}
+
+// GetCellBudget returns the installed budget (nil means exact).
+func GetCellBudget() *CellBudget { return cellBudget.Load() }
+
+// ApproxCellCount returns how many cells have executed through an
+// approximate path (chunked or genuinely sampled) since process start.
+// Serial and exact fallbacks under a budget do not count.
+func ApproxCellCount() int64 { return approxCells.Load() }
+
+// timeKernelCell executes a CellKernel cell, honoring the installed
+// budget. The returned stats are exact when the budget is nil (or the
+// harness fell back); otherwise they carry the mode's documented error
+// semantics.
+func timeKernelCell(c Cell) (*ooo.Stats, error) {
+	b := cellBudget.Load()
+	if b == nil || b.Mode == BudgetExact {
+		return harness.TimeKernel(c.Cipher, c.Feat, c.Cfg, c.Session, c.Seed)
+	}
+	switch b.Mode {
+	case BudgetChunked:
+		st, rep, err := harness.TimeKernelChunked(c.Cipher, c.Feat, c.Cfg, c.Session, c.Seed,
+			harness.ChunkOptions{Chunks: b.Chunks, WarmupInsts: b.WarmupInsts})
+		if err == nil && !rep.Serial {
+			approxCells.Add(1)
+		}
+		return st, err
+	case BudgetSampled:
+		st, rep, err := harness.TimeKernelSampled(c.Cipher, c.Feat, c.Cfg, c.Session, c.Seed,
+			harness.SampleOptions{Intervals: b.SampleIntervals, IntervalInsts: b.SampleIntervalInsts, WarmupInsts: b.WarmupInsts})
+		if err == nil && !rep.Exact {
+			approxCells.Add(1)
+		}
+		return st, err
+	}
+	return harness.TimeKernel(c.Cipher, c.Feat, c.Cfg, c.Session, c.Seed)
+}

@@ -101,7 +101,7 @@ type cellResult struct {
 func (r *cellResult) exec(c Cell) {
 	switch c.Kind {
 	case CellKernel:
-		r.stats, r.err = harness.TimeKernel(c.Cipher, c.Feat, c.Cfg, c.Session, c.Seed)
+		r.stats, r.err = timeKernelCell(c)
 	case CellSetup:
 		r.stats, r.err = harness.TimeSetup(c.Cipher, c.Feat, c.Cfg, c.Seed)
 	case CellDecrypt:
@@ -302,6 +302,14 @@ func SweepObserved(cells []Cell, progress SweepProgress) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// Hold a token from the process-wide worker budget for the
+			// goroutine's lifetime, so nested orchestrators (chunked replay,
+			// interval sampling) see the machine as busy and degrade to fewer
+			// workers instead of oversubscribing it quadratically. The
+			// blocking acquire is safe at this level: sweep workers hold no
+			// other tokens, so they only ever wait on each other.
+			harness.AcquireWorker()
+			defer harness.ReleaseWorker()
 			tl.BindTrack(w)
 			defer tl.ReleaseTrack()
 			busy := reg.Counter(fmt.Sprintf("sweep.worker.%02d.busy_ns", w))

@@ -1,0 +1,105 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Shared worker budget. Two schedulers want the machine's cores: the
+// experiment sweep runs cells in parallel, and inside one cell the
+// time-parallel chunked replay (chunked.go) and interval sampler
+// (sampled.go) want workers of their own. Without coordination the two
+// levels multiply — a GOMAXPROCS-wide sweep whose every cell spawns
+// GOMAXPROCS chunk workers oversubscribes the machine quadratically. One
+// process-wide token pool, sized to GOMAXPROCS, is shared by both levels:
+// sweep workers block until they hold a token (the sweep owns its
+// concurrency, so waiting is correct), while intra-cell orchestrators only
+// try-acquire whatever is free and degrade to fewer workers — down to
+// inline-serial — when the sweep has the machine saturated. Because the
+// inner level never blocks on the pool, nesting cannot deadlock.
+
+type workerBudget struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	cap   int // total tokens
+	inUse int // tokens currently held
+}
+
+var budget = func() *workerBudget {
+	b := &workerBudget{cap: runtime.GOMAXPROCS(0)}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}()
+
+// WorkerBudget returns the current token-pool size.
+func WorkerBudget() int {
+	budget.mu.Lock()
+	defer budget.mu.Unlock()
+	return budget.cap
+}
+
+// SetWorkerBudget resizes the pool and returns the previous size. n < 1
+// is clamped to 1. Outstanding tokens stay valid — a shrink simply makes
+// the pool over-committed until they drain. Benchmarks and tests use this
+// to pin concurrency regardless of the host.
+func SetWorkerBudget(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	budget.mu.Lock()
+	prev := budget.cap
+	budget.cap = n
+	budget.mu.Unlock()
+	budget.cond.Broadcast()
+	return prev
+}
+
+// AcquireWorker blocks until a worker token is free and takes it. Only
+// top-level schedulers (the sweep) may block; nested orchestrators must
+// use TryAcquireWorkers or risk deadlock against their own parent.
+func AcquireWorker() {
+	budget.mu.Lock()
+	for budget.inUse >= budget.cap {
+		budget.cond.Wait()
+	}
+	budget.inUse++
+	budget.mu.Unlock()
+}
+
+// ReleaseWorker returns one token taken with AcquireWorker.
+func ReleaseWorker() { ReleaseWorkers(1) }
+
+// TryAcquireWorkers takes up to n tokens without blocking and returns how
+// many it got (possibly zero). The chunk and sampling orchestrators call
+// this: whatever is free becomes extra parallelism, and zero means "run
+// inline on the token the caller already holds".
+func TryAcquireWorkers(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	budget.mu.Lock()
+	got := budget.cap - budget.inUse
+	if got > n {
+		got = n
+	}
+	if got < 0 {
+		got = 0
+	}
+	budget.inUse += got
+	budget.mu.Unlock()
+	return got
+}
+
+// ReleaseWorkers returns n tokens to the pool.
+func ReleaseWorkers(n int) {
+	if n <= 0 {
+		return
+	}
+	budget.mu.Lock()
+	budget.inUse -= n
+	if budget.inUse < 0 {
+		budget.inUse = 0
+	}
+	budget.mu.Unlock()
+	budget.cond.Broadcast()
+}

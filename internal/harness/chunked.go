@@ -1,0 +1,288 @@
+package harness
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"cryptoarch/internal/emu"
+	"cryptoarch/internal/isa"
+	"cryptoarch/internal/kernels"
+	"cryptoarch/internal/metrics"
+	"cryptoarch/internal/ooo"
+)
+
+// Time-parallel chunked replay. A recorded trace makes the whole dynamic
+// instruction stream addressable, so one cell's timing run can be split
+// across workers in simulated time: chunk i replays the record window
+// [start-warm, end), the warm prefix putting the caches, TLBs, branch
+// predictor and SBox caches into a representative state, and only the
+// [start, end) body is measured (ooo.SetWarmup). The per-chunk measured
+// Stats are stitched by summation (ooo.Stats.Accumulate). Instructions
+// and the other dispatch-side counters stitch exactly; Cycles and the
+// stall breakdown carry a per-seam error — cold state beyond the warmup
+// horizon plus each chunk's pipeline drain — that shrinks as warmup grows
+// and as chunks lengthen, which the chunked-equivalence test enforces
+// against the golden serial run.
+
+// DefaultChunkWarmup is the warmup-prefix length (instructions) used when
+// ChunkOptions.WarmupInsts is zero. Sized so the 8 KB L1, the TLB and the
+// branch-predictor tables see a representative working set: seam error on
+// the bench workload is well inside the test-enforced bound, while the
+// warmup overhead stays a small fraction of typical chunk bodies.
+const DefaultChunkWarmup = 16384
+
+// ChunkOptions configures TimeKernelChunked.
+type ChunkOptions struct {
+	// Chunks is the number of simulated-time chunks (<= 1: serial run).
+	Chunks int
+	// WarmupInsts is the per-chunk warmup-prefix length in instructions.
+	// 0 means DefaultChunkWarmup; negative means no warmup (exact only
+	// for chunk 0, which starts at the true beginning).
+	WarmupInsts int
+	// Workers caps the worker goroutines. 0 (the usual case) takes
+	// whatever the shared worker budget has free — degrading to an inline
+	// serial loop when a parallel sweep holds the machine. > 0 spawns
+	// exactly min(Workers, Chunks) goroutines regardless of the budget:
+	// the benchmark override for measuring scaling on a pinned host.
+	Workers int
+}
+
+// ChunkReport describes how a chunked run was executed.
+type ChunkReport struct {
+	Chunks  int `json:"chunks"`
+	Workers int `json:"workers"`
+	// WarmupInsts is the resolved per-chunk warmup length.
+	WarmupInsts int `json:"warmup_insts"`
+	// TotalInsts is the length of the replayed trace (== stitched
+	// Stats.Instructions).
+	TotalInsts uint64 `json:"total_insts"`
+	// DiscardedInsts/DiscardedCycles total the warmup epochs simulated and
+	// thrown away — the price paid for seam accuracy.
+	DiscardedInsts  uint64 `json:"discarded_insts"`
+	DiscardedCycles uint64 `json:"discarded_cycles"`
+	// Serial is set when the request fell back to the ordinary serial
+	// path (oversized trace, or a degenerate chunk count).
+	Serial bool `json:"serial"`
+}
+
+// chunkSpec is one chunk's record window: measure [start, end), warm up
+// over the warm records before start.
+type chunkSpec struct {
+	start, end, warm int
+}
+
+// chunkSpecs splits n records into c chunks with warmup prefixes of up to
+// w records (clamped at the start of the trace).
+func chunkSpecs(n, c, w int) []chunkSpec {
+	specs := make([]chunkSpec, c)
+	for i := 0; i < c; i++ {
+		s := i * n / c
+		e := (i + 1) * n / c
+		warm := w
+		if warm > s {
+			warm = s
+		}
+		specs[i] = chunkSpec{start: s, end: e, warm: warm}
+	}
+	return specs
+}
+
+// chunkResult is one chunk's measured epoch.
+type chunkResult struct {
+	st    *ooo.Stats
+	prof  *ooo.Profile
+	discI uint64
+	discC uint64
+	err   error
+}
+
+// runWindow replays one chunk window with warmup and returns its measured
+// epoch. The window is a zero-copy view of the shared record slab; its
+// bytes are reserved against the trace-cache budget while the chunk is in
+// flight, since the view pins the slab even if the LRU evicts the entry.
+func runWindow(tr *emu.Trace, codeLen, ctxBytes int, cfg ooo.Config, spec chunkSpec, profile bool) chunkResult {
+	lo := spec.start - spec.warm
+	winBytes := (spec.end - lo) * emu.TraceRecBytes
+	reserveChunkBytes(winBytes)
+	defer releaseChunkBytes(winBytes)
+
+	eng := ooo.NewEngine(cfg, tr.StreamAt(lo, spec.end))
+	eng.WarmData(kernels.CtxAddr, ctxBytes)
+	eng.WarmCode(codeLen)
+	eng.SetWarmup(uint64(spec.warm))
+	eng.SetMetrics(Metrics())
+	var prof *ooo.Profile
+	if profile {
+		prof = eng.EnableProfile(codeLen)
+	}
+	st, err := eng.Run()
+	if err != nil {
+		return chunkResult{err: err}
+	}
+	di, dc := eng.WarmupDiscarded()
+	if reg := Metrics(); reg != nil {
+		reg.Histogram("chunk.warmup_discard_insts").Observe(int64(di))
+		reg.Histogram("chunk.warmup_discard_cycles").Observe(int64(dc))
+	}
+	return chunkResult{st: st, prof: prof, discI: di, discC: dc}
+}
+
+// TimeKernelChunked times one cipher-kernel session like TimeKernel, but
+// splits the replay into opt.Chunks simulated-time chunks run on parallel
+// workers drawn from the shared worker budget. Sessions whose trace
+// cannot be retained whole (oversized) fall back to the serial path. The
+// stitched Stats carry exact Instructions and seam-bounded Cycles; see
+// the file comment for the error semantics.
+func TimeKernelChunked(cipher string, feat isa.Feature, cfg ooo.Config, sessionBytes int, seed int64, opt ChunkOptions) (*ooo.Stats, *ChunkReport, error) {
+	st, _, rep, err := timeChunked(cipher, feat, cfg, sessionBytes, seed, opt, false)
+	return st, rep, err
+}
+
+// ProfileKernelChunked is TimeKernelChunked with per-PC profiling: each
+// chunk profiles its measured epoch and the per-PC counters are stitched
+// by summation, preserving Profile.Total() == Stats.Stalls.
+func ProfileKernelChunked(cipher string, feat isa.Feature, cfg ooo.Config, sessionBytes int, seed int64, opt ChunkOptions) (*ProfiledRun, *ChunkReport, error) {
+	st, prof, rep, err := timeChunked(cipher, feat, cfg, sessionBytes, seed, opt, true)
+	if err != nil {
+		return nil, rep, err
+	}
+	k, err := kernels.Get(cipher)
+	if err != nil {
+		return nil, rep, err
+	}
+	return &ProfiledRun{Stats: st, Profile: prof, Prog: k.Build(feat)}, rep, nil
+}
+
+func timeChunked(cipher string, feat isa.Feature, cfg ooo.Config, sessionBytes int, seed int64, opt ChunkOptions, profile bool) (*ooo.Stats, *ooo.Profile, *ChunkReport, error) {
+	kern, err := kernels.Get(cipher)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	tr, codeLen, err := traces.traceFor(traceKey{cipher: cipher, feat: feat, session: sessionBytes, seed: seed, mode: modeEncrypt})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	n := 0
+	if tr != nil {
+		n = len(tr.Recs)
+	}
+	c := opt.Chunks
+	if c > n {
+		c = n
+	}
+	if tr == nil || c <= 1 {
+		// Serial fallback: oversized trace, or nothing to parallelize.
+		if reg := Metrics(); reg != nil {
+			reg.Counter("chunk.serial_fallbacks").Inc()
+		}
+		var st *ooo.Stats
+		var prof *ooo.Profile
+		if profile {
+			pr, perr := ProfileKernel(cipher, feat, cfg, sessionBytes, seed)
+			if perr != nil {
+				return nil, nil, nil, perr
+			}
+			st, prof = pr.Stats, pr.Profile
+		} else {
+			st, err = TimeKernel(cipher, feat, cfg, sessionBytes, seed)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+		}
+		return st, prof, &ChunkReport{Chunks: 1, Workers: 1, TotalInsts: st.Instructions, Serial: true}, nil
+	}
+
+	w := opt.WarmupInsts
+	switch {
+	case w == 0:
+		w = DefaultChunkWarmup
+	case w < 0:
+		w = 0
+	}
+	specs := chunkSpecs(n, c, w)
+
+	// Worker count: an explicit override spawns exactly that many; the
+	// auto path takes what the shared budget has free (the calling
+	// goroutine always counts as one worker, so zero free tokens means an
+	// inline serial loop — correct under a saturating parallel sweep).
+	workers := 1
+	acquired := 0
+	if opt.Workers > 0 {
+		workers = opt.Workers
+	} else {
+		acquired = TryAcquireWorkers(c - 1)
+		workers = acquired + 1
+	}
+	if workers > c {
+		workers = c
+	}
+	defer ReleaseWorkers(acquired)
+
+	if reg := Metrics(); reg != nil {
+		reg.Counter("chunk.runs").Inc()
+		reg.Counter("chunk.chunks").Add(int64(c))
+	}
+	tl := CurrentTimeline()
+	parent := metrics.NoSpan
+	if tl != nil {
+		parent = tl.Begin("chunked", "chunked "+cfg.Name+" "+cipher+"/"+feat.String())
+	}
+	defer tl.End(parent)
+
+	results := make([]chunkResult, c)
+	var next int64 = -1
+	work := func() {
+		for {
+			i := int(atomic.AddInt64(&next, 1))
+			if i >= c {
+				return
+			}
+			sp := metrics.NoSpan
+			if tl != nil {
+				sp = tl.BeginOn(parent, "chunk", "chunk "+cfg.Name)
+			}
+			results[i] = runWindow(tr, codeLen, kern.CtxBytes, cfg, specs[i], profile)
+			tl.End(sp)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 1; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer tl.ReleaseTrack()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+
+	// Stitch.
+	total := &ooo.Stats{Config: cfg.Name}
+	var prof *ooo.Profile
+	if profile {
+		prof = &ooo.Profile{Config: cfg.Name, PCs: make([]ooo.PCProfile, codeLen)}
+	}
+	rep := &ChunkReport{Chunks: c, Workers: workers, WarmupInsts: w, TotalInsts: uint64(n)}
+	for i := range results {
+		r := &results[i]
+		if r.err != nil {
+			return nil, nil, rep, r.err
+		}
+		total.Accumulate(r.st)
+		rep.DiscardedInsts += r.discI
+		rep.DiscardedCycles += r.discC
+		if profile {
+			for pc := range r.prof.PCs {
+				p, q := &prof.PCs[pc], &r.prof.PCs[pc]
+				p.Retired += q.Retired
+				p.ExecCycles += q.ExecCycles
+				for ci := range p.Slots {
+					p.Slots[ci] += q.Slots[ci]
+				}
+			}
+		}
+	}
+	return total, prof, rep, nil
+}

@@ -1,0 +1,188 @@
+package harness_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"cryptoarch/internal/harness"
+	"cryptoarch/internal/isa"
+	"cryptoarch/internal/ooo"
+)
+
+const chunkSession = 4096
+
+func relErr(got, want uint64) float64 {
+	return math.Abs(float64(got)-float64(want)) / float64(want)
+}
+
+func absDiff(a, b uint64) uint64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// TestChunkedReplayEquivalence pins the stitching semantics against the
+// golden serial run: dispatch-side counters (Instructions, Loads, Stores,
+// ClassCounts) stitch exactly, Branches carry only bounded fetch-boundary
+// skew, the slot identity holds on the stitched breakdown, and the cycle
+// estimate lands within the documented seam bound at default warmup.
+func TestChunkedReplayEquivalence(t *testing.T) {
+	for _, cipher := range []string{"blowfish", "rijndael"} {
+		for _, cfg := range []ooo.Config{ooo.FourWide, ooo.EightWidePlus} {
+			golden, err := harness.TimeKernel(cipher, isa.FeatRot, cfg, chunkSession, 12345)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, rep, err := harness.TimeKernelChunked(cipher, isa.FeatRot, cfg, chunkSession, 12345,
+				harness.ChunkOptions{Chunks: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tag := fmt.Sprintf("%s/%s", cipher, cfg.Name)
+			if rep.Serial || rep.Chunks != 8 {
+				t.Fatalf("%s: expected a genuine 8-chunk run, got %+v", tag, rep)
+			}
+			if st.Instructions != golden.Instructions {
+				t.Fatalf("%s: stitched %d insts, golden %d", tag, st.Instructions, golden.Instructions)
+			}
+			if st.Loads != golden.Loads || st.Stores != golden.Stores {
+				t.Fatalf("%s: stitched loads/stores %d/%d, golden %d/%d",
+					tag, st.Loads, st.Stores, golden.Loads, golden.Stores)
+			}
+			if st.ClassCounts != golden.ClassCounts {
+				t.Fatalf("%s: stitched class counts diverge from golden", tag)
+			}
+			// Branches are charged at fetch, so each seam can skew the count
+			// by at most the fetch-ahead depth.
+			if d := absDiff(st.Branches, golden.Branches); d > 64*uint64(rep.Chunks) {
+				t.Fatalf("%s: branch skew %d beyond seam bound", tag, d)
+			}
+			if e := relErr(st.Cycles, golden.Cycles); e > 0.05 {
+				t.Fatalf("%s: cycle error %.4f beyond 5%% seam bound (stitched %d, golden %d)",
+					tag, e, st.Cycles, golden.Cycles)
+			}
+			if got, want := st.Stalls.Slots(), st.Cycles*uint64(cfg.IssueWidth); got != want {
+				t.Fatalf("%s: stitched slots %d != cycles*width %d", tag, got, want)
+			}
+			if rep.TotalInsts != golden.Instructions || rep.DiscardedInsts == 0 {
+				t.Fatalf("%s: report %+v inconsistent with golden %d insts", tag, rep, golden.Instructions)
+			}
+		}
+	}
+}
+
+// TestChunkedWarmupConvergence pins the headline error semantics: the
+// stitched cycle estimate converges to the golden serial run as the
+// warmup prefix grows.
+func TestChunkedWarmupConvergence(t *testing.T) {
+	golden, err := harness.TimeKernel("blowfish", isa.FeatRot, ooo.FourWide, chunkSession, 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errAt := func(warm int) float64 {
+		st, _, err := harness.TimeKernelChunked("blowfish", isa.FeatRot, ooo.FourWide, chunkSession, 12345,
+			harness.ChunkOptions{Chunks: 8, WarmupInsts: warm})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return relErr(st.Cycles, golden.Cycles)
+	}
+	small := errAt(64)
+	big := errAt(16384)
+	// Either the long warmup strictly improved on the short one, or both
+	// are already inside 1% — the tail where seam error is dominated by
+	// per-chunk pipeline drain, not cold state.
+	if big > small && big > 0.01 {
+		t.Fatalf("cycle error did not converge with warmup: w=64 -> %.4f, w=16384 -> %.4f", small, big)
+	}
+}
+
+// TestChunkedProfileStitch pins that per-PC profile stitching stays in
+// lockstep with the stitched run-level breakdown.
+func TestChunkedProfileStitch(t *testing.T) {
+	pr, rep, err := harness.ProfileKernelChunked("blowfish", isa.FeatRot, ooo.FourWide, chunkSession, 12345,
+		harness.ChunkOptions{Chunks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Serial {
+		t.Fatal("profile run fell back to serial")
+	}
+	if pr.Prog == nil || len(pr.Profile.PCs) == 0 {
+		t.Fatal("stitched profile missing program or PCs")
+	}
+	if got, want := pr.Profile.Total(), pr.Stats.Stalls; got != want {
+		t.Fatalf("stitched profile total %v != stitched stalls %v", got, want)
+	}
+	if got, want := pr.Profile.TotalSlots(), pr.Stats.Stalls.Slots(); got != want {
+		t.Fatalf("stitched profile slots %d != stats slots %d", got, want)
+	}
+}
+
+// TestChunkedSerialFallback pins that a degenerate chunk count falls back
+// to the ordinary serial path, bit-identical.
+func TestChunkedSerialFallback(t *testing.T) {
+	golden, err := harness.TimeKernel("blowfish", isa.FeatRot, ooo.FourWide, 512, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, rep, err := harness.TimeKernelChunked("blowfish", isa.FeatRot, ooo.FourWide, 512, 9,
+		harness.ChunkOptions{Chunks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Serial {
+		t.Fatalf("expected serial fallback, got %+v", rep)
+	}
+	if fmt.Sprintf("%+v", *st) != fmt.Sprintf("%+v", *golden) {
+		t.Fatal("serial fallback differs from TimeKernel")
+	}
+}
+
+// TestChunkedWorkerInvariance pins that the worker count is a pure
+// wall-clock knob: 1 worker and 4 workers stitch bit-identical stats.
+func TestChunkedWorkerInvariance(t *testing.T) {
+	opt := harness.ChunkOptions{Chunks: 6}
+	opt.Workers = 1
+	one, _, err := harness.TimeKernelChunked("rc6", isa.FeatRot, ooo.FourWide, 1024, 5, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Workers = 4
+	four, rep, err := harness.TimeKernelChunked("rc6", isa.FeatRot, ooo.FourWide, 1024, 5, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Workers != 4 {
+		t.Fatalf("explicit override resolved to %d workers", rep.Workers)
+	}
+	if fmt.Sprintf("%+v", *one) != fmt.Sprintf("%+v", *four) {
+		t.Fatal("stitched stats depend on worker count")
+	}
+}
+
+// TestWorkerBudget pins the shared-pool semantics: blocking acquires take
+// single tokens, try-acquires take only what is free, and a resize is
+// observed by later acquires.
+func TestWorkerBudget(t *testing.T) {
+	prev := harness.SetWorkerBudget(3)
+	defer harness.SetWorkerBudget(prev)
+	if harness.WorkerBudget() != 3 {
+		t.Fatalf("budget %d, want 3", harness.WorkerBudget())
+	}
+	harness.AcquireWorker()
+	if got := harness.TryAcquireWorkers(5); got != 2 {
+		t.Fatalf("try-acquire got %d of the 2 free tokens", got)
+	}
+	if got := harness.TryAcquireWorkers(1); got != 0 {
+		t.Fatalf("try-acquire on an empty pool got %d", got)
+	}
+	harness.ReleaseWorkers(2)
+	harness.ReleaseWorker()
+	if got := harness.TryAcquireWorkers(8); got != 3 {
+		t.Fatalf("drained pool refilled to %d, want 3", got)
+	}
+	harness.ReleaseWorkers(3)
+}

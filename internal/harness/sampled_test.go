@@ -1,0 +1,86 @@
+package harness_test
+
+import (
+	"fmt"
+	"testing"
+
+	"cryptoarch/internal/harness"
+	"cryptoarch/internal/isa"
+	"cryptoarch/internal/ooo"
+)
+
+// TestSampledErrorBounds runs interval sampling against the exact serial
+// run for every cipher and pins the accuracy contract: Instructions exact,
+// extrapolated cycles within 15% of exact, the slot identity intact after
+// extrapolation, and a sane reported dispersion bound.
+func TestSampledErrorBounds(t *testing.T) {
+	ciphers := []string{"3des", "blowfish", "idea", "mars", "rc4", "rc6", "rijndael", "twofish"}
+	opt := harness.SampleOptions{Intervals: 8, IntervalInsts: 2048, WarmupInsts: 4096}
+	for _, cipher := range ciphers {
+		exact, err := harness.TimeKernel(cipher, isa.FeatRot, ooo.FourWide, 4096, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, rep, err := harness.TimeKernelSampled(cipher, isa.FeatRot, ooo.FourWide, 4096, 7, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Exact {
+			t.Fatalf("%s: fell back to exact (session too small to sample)", cipher)
+		}
+		if st.Instructions != exact.Instructions {
+			t.Fatalf("%s: extrapolated %d insts, exact %d", cipher, st.Instructions, exact.Instructions)
+		}
+		if rep.Coverage <= 0 || rep.Coverage >= 1 {
+			t.Fatalf("%s: coverage %.3f not a genuine sample", cipher, rep.Coverage)
+		}
+		if e := relErr(st.Cycles, exact.Cycles); e > 0.15 {
+			t.Fatalf("%s: cycle error %.4f beyond 15%% bound (sampled %d, exact %d, reported bound %.4f)",
+				cipher, e, st.Cycles, exact.Cycles, rep.RelErrBound)
+		}
+		if got, want := st.Stalls.Slots(), st.Cycles*uint64(ooo.FourWide.IssueWidth); got != want {
+			t.Fatalf("%s: extrapolated slots %d != cycles*width %d", cipher, got, want)
+		}
+		if rep.RelErrBound < 0 || rep.RelErrBound > 1 {
+			t.Fatalf("%s: reported dispersion bound %.4f out of range", cipher, rep.RelErrBound)
+		}
+	}
+}
+
+// TestSampledExactFallback pins that a session too small to sample runs
+// the exact serial path, bit-identical to TimeKernel.
+func TestSampledExactFallback(t *testing.T) {
+	golden, err := harness.TimeKernel("blowfish", isa.FeatRot, ooo.FourWide, 64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, rep, err := harness.TimeKernelSampled("blowfish", isa.FeatRot, ooo.FourWide, 64, 3,
+		harness.SampleOptions{Intervals: 8, IntervalInsts: 32768})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Exact || rep.RelErrBound != 0 || rep.Coverage != 1 {
+		t.Fatalf("expected exact fallback, got %+v", rep)
+	}
+	if fmt.Sprintf("%+v", *st) != fmt.Sprintf("%+v", *golden) {
+		t.Fatal("exact fallback differs from TimeKernel")
+	}
+}
+
+// TestSampledWorkerInvariance pins that sampling, like chunking, produces
+// worker-count-independent stats.
+func TestSampledWorkerInvariance(t *testing.T) {
+	opt := harness.SampleOptions{Intervals: 4, IntervalInsts: 1024, WarmupInsts: 1024, Workers: 1}
+	one, _, err := harness.TimeKernelSampled("idea", isa.FeatRot, ooo.FourWide, 2048, 11, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Workers = 4
+	four, _, err := harness.TimeKernelSampled("idea", isa.FeatRot, ooo.FourWide, 2048, 11, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%+v", *one) != fmt.Sprintf("%+v", *four) {
+		t.Fatal("extrapolated stats depend on worker count")
+	}
+}

@@ -56,18 +56,21 @@ type traceEntry struct {
 	// replay-prefix-then-go-live stream; later arrivals re-emulate live.
 	resume ooo.Stream
 
-	lastUse uint64 // cache clock at last touch (LRU)
+	lastUse     uint64 // cache clock at last touch (LRU)
+	sinceVerify int    // traceFor uses since the last checksum verification
 }
 
-const (
-	// maxTraceInsts caps the records retained per trace (16 B each: 48 MB).
-	// Fig6's 64 KB sessions reach ~15M instructions for 3DES; retaining
-	// those would blow the budget for traces that are replayed by at most
-	// one extra model anyway.
-	maxTraceInsts = 3 << 20
-	// traceBudgetBytes bounds total retained trace memory across the cache.
-	traceBudgetBytes = 192 << 20
-)
+// maxTraceInsts caps the records retained per trace (16 B each: 48 MB).
+// Fig6's 64 KB sessions reach ~15M instructions for 3DES; retaining
+// those would blow the budget for traces that are replayed by at most
+// one extra model anyway.
+const maxTraceInsts = 3 << 20
+
+// traceBudgetBytes bounds total retained trace memory across the cache —
+// retained traces plus the live chunk-window copies the chunked-replay
+// orchestrator reserves (reserveChunkBytes). A variable so tests can
+// shrink it to exercise eviction pressure.
+var traceBudgetBytes = 192 << 20
 
 // recBufs pools full-capacity record buffers. Recording appends up to
 // maxTraceInsts records; growing a fresh slice there each time costs a
@@ -412,6 +415,112 @@ func (c *traceCache) streamChecked(k traceKey, retried bool) (ooo.Stream, int, e
 		return nil, 0, err
 	}
 	return ooo.MachineStream{M: m}, len(m.Prog.Code), nil
+}
+
+// traceFor returns the key's complete retained trace (recording it on
+// first request), or nil with no error when the key cannot be held as a
+// complete trace — oversized sessions and live-only keys — in which case
+// the caller must fall back to the serial stream path. Hit/miss traffic
+// is only counted when a trace is returned; the fallback path counts
+// itself when it calls stream.
+func (c *traceCache) traceFor(k traceKey) (*emu.Trace, int, error) {
+	return c.traceForChecked(k, false)
+}
+
+// traceForChecked is traceFor with the retry-once state of the checksum
+// recovery path made explicit (the same protocol as streamChecked).
+func (c *traceCache) traceForChecked(k traceKey, retried bool) (*emu.Trace, int, error) {
+	c.mu.Lock()
+	e := c.entries[k]
+	if e == nil {
+		e = &traceEntry{}
+		c.entries[k] = e
+	}
+	c.clock++
+	e.lastUse = c.clock
+	c.mu.Unlock()
+
+	recorded := false
+	e.once.Do(func() { recorded = true; e.record(k) })
+	if e.err != nil {
+		return nil, 0, e.err
+	}
+
+	c.mu.Lock()
+	tr := e.tr
+	codeLen := e.codeLen
+	sum := e.sum
+	// Amortized integrity check: the chunk and sampling orchestrators call
+	// traceFor once per cell run, and hashing a multi-MB slab every time
+	// would dominate a sampled run that simulates only a few percent of it.
+	// Verify on the first use and every traceVerifyEvery-th use thereafter;
+	// the serial stream path keeps verifying every request.
+	e.sinceVerify++
+	verify := e.sinceVerify == 1 || e.sinceVerify > traceVerifyEvery
+	if e.sinceVerify > traceVerifyEvery {
+		e.sinceVerify = 1
+	}
+	c.mu.Unlock()
+	if tr == nil {
+		// Oversized or live-only: a recording triggered here still paid the
+		// emulation, but its one-shot resume stream is left for the serial
+		// fallback, which does its own accounting.
+		return nil, codeLen, nil
+	}
+	if verify && tr.Checksum() != sum {
+		c.mu.Lock()
+		tcCtr().checksumEv.Inc()
+		if c.entries[k] == e {
+			delete(c.entries, k)
+			c.bytes -= tr.Bytes()
+		}
+		c.mu.Unlock()
+		if retried {
+			return nil, 0, check.Violationf("cached-trace", 0,
+				"trace %s/%v corrupted again after re-record (sum %#x, want %#x)",
+				k.cipher, k.feat, tr.Checksum(), sum)
+		}
+		return c.traceForChecked(k, true)
+	}
+	ctr := tcCtr()
+	ctr.replays.Inc()
+	if recorded {
+		ctr.misses.Inc()
+	} else {
+		ctr.hits.Inc()
+	}
+	return tr, codeLen, nil
+}
+
+// traceVerifyEvery is the re-verification period of traceFor's amortized
+// checksum check.
+const traceVerifyEvery = 64
+
+// reserveChunkBytes accounts a chunk warmup-window copy against the trace
+// cache's byte budget: the copies are trace memory that lives exactly as
+// long as a chunk worker runs, so they squeeze retained traces out under
+// pressure instead of silently doubling the footprint.
+func reserveChunkBytes(n int) {
+	if n <= 0 {
+		return
+	}
+	traces.mu.Lock()
+	traces.bytes += n
+	traces.evictLocked()
+	traces.mu.Unlock()
+}
+
+// releaseChunkBytes returns a chunk reservation made by reserveChunkBytes.
+func releaseChunkBytes(n int) {
+	if n <= 0 {
+		return
+	}
+	traces.mu.Lock()
+	traces.bytes -= n
+	if traces.bytes < 0 {
+		traces.bytes = 0
+	}
+	traces.mu.Unlock()
 }
 
 // StreamKernel returns the committed-path instruction stream of an

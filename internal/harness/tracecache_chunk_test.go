@@ -1,0 +1,55 @@
+package harness
+
+import (
+	"testing"
+
+	"cryptoarch/internal/isa"
+)
+
+// TestChunkReservationEvicts pins the S-curve of the shared byte budget:
+// in-flight chunk-window reservations count against the same LRU budget as
+// retained traces, so reservation pressure squeezes retained traces out
+// instead of silently doubling the cache footprint.
+func TestChunkReservationEvicts(t *testing.T) {
+	ResetTraceCache()
+	defer ResetTraceCache()
+	k := traceKey{cipher: "blowfish", feat: isa.FeatRot, session: 256, seed: 3, mode: modeEncrypt}
+	tr, _, err := traces.traceFor(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr == nil {
+		t.Fatal("trace not retained")
+	}
+	prev := traceBudgetBytes
+	defer func() { traceBudgetBytes = prev }()
+	traceBudgetBytes = tr.Bytes() + 64
+
+	// A reservation bigger than the remaining slack must evict the trace.
+	reserveChunkBytes(128)
+	traces.mu.Lock()
+	_, present := traces.entries[k]
+	bytes := traces.bytes
+	traces.mu.Unlock()
+	if present {
+		t.Fatal("retained trace survived reservation pressure")
+	}
+	if bytes != 128 {
+		t.Fatalf("cache holds %d bytes after eviction, want the 128-byte reservation", bytes)
+	}
+
+	releaseChunkBytes(128)
+	releaseChunkBytes(1 << 30) // over-release floors at zero
+	traces.mu.Lock()
+	bytes = traces.bytes
+	traces.mu.Unlock()
+	if bytes != 0 {
+		t.Fatalf("cache holds %d bytes after release, want 0", bytes)
+	}
+
+	// The evicted key re-records transparently on the next request.
+	tr2, _, err := traces.traceFor(k)
+	if err != nil || tr2 == nil {
+		t.Fatalf("re-record after eviction failed: %v", err)
+	}
+}

@@ -280,6 +280,14 @@ type Engine struct {
 	commitIdxs  []int32
 	lastRetired int32 // PC of the most recently retired instruction
 
+	// Warmup/measure epoch state (warmup.go). warmupLeft counts down at
+	// dispatch; when it hits zero the current counters become the base
+	// subtracted from the final stats and profile.
+	warmupLeft     uint64
+	warmupBase     Stats
+	warmupBaseSet  bool
+	warmupProfBase []PCProfile
+
 	// Checked-mode rotating cursor over large windows (invariants.go).
 	checkCursor uint64
 
@@ -561,6 +569,10 @@ func (e *Engine) run() (*Stats, error) {
 	e.stats.DL1Misses = e.mem.DL1Miss
 	e.stats.L2Misses = e.mem.L2Miss
 	e.stats.TLBMisses = e.mem.TLBMiss
+	// Discard the warmup epoch, if one was armed and closed. This happens
+	// after the final invariant check: checked mode validates cumulative
+	// counters, and the delta preserves the slot identity on its own.
+	e.applyWarmup()
 	// The run is complete: recycle the ring and node pool for the next
 	// engine.
 	putRing(e.rob)
@@ -1206,6 +1218,14 @@ func (e *Engine) wireDependencies(en *entry) {
 
 	if en.pendingDeps == 0 && !en.memBlocked {
 		e.makeReady(en)
+	}
+
+	// Warmup epoch: the dispatch of the last warmup instruction — with all
+	// its dispatch-side counters charged above — closes the epoch.
+	if e.warmupLeft != 0 {
+		if e.warmupLeft--; e.warmupLeft == 0 {
+			e.beginMeasure()
+		}
 	}
 }
 

@@ -117,6 +117,30 @@ func (s *Stats) MispredictRate() float64 {
 	return float64(s.Mispredicts) / float64(s.Branches)
 }
 
+// Accumulate adds every counter of o into s — the stitching operation of
+// time-parallel chunked replay, where each chunk's measured epoch is a
+// disjoint window of one session and the whole-session stats are the sum
+// of the windows. Config is left as s's.
+func (s *Stats) Accumulate(o *Stats) {
+	s.Cycles += o.Cycles
+	s.Instructions += o.Instructions
+	for i := range s.ClassCounts {
+		s.ClassCounts[i] += o.ClassCounts[i]
+	}
+	s.Branches += o.Branches
+	s.Mispredicts += o.Mispredicts
+	s.Loads += o.Loads
+	s.Stores += o.Stores
+	s.SboxAccesses += o.SboxAccesses
+	s.SboxHits += o.SboxHits
+	s.DL1Misses += o.DL1Misses
+	s.L2Misses += o.L2Misses
+	s.TLBMisses += o.TLBMisses
+	for i := range s.Stalls {
+		s.Stalls[i] += o.Stalls[i]
+	}
+}
+
 // Delta returns the counter differences since prev, for interval
 // reporting over a long session. Config is carried from s.
 func (s *Stats) Delta(prev *Stats) Stats {

@@ -1,0 +1,86 @@
+package ooo
+
+// Warmup/measure phase split. Time-parallel chunked replay and interval
+// sampling both run the engine over a window of a longer recorded stream:
+// a warmup prefix puts the caches, TLBs, branch predictor and SBox caches
+// into a representative state, and only the instructions after it are
+// measured. The engine supports this as a discardable stats epoch: the
+// run proceeds exactly as normal (warmup changes no timing decision), and
+// when the configured number of instructions has dispatched, the current
+// counters are snapshotted as a base that is subtracted from the final
+// stats — and, in lockstep, from the per-PC profile — before Run returns.
+//
+// Epoch boundary semantics: the boundary is the dispatch of the last
+// warmup instruction. Counters charged at dispatch (Instructions,
+// ClassCounts, Loads, Stores) split exactly at the boundary. Counters
+// charged in other stages (Branches and Mispredicts at fetch, SBox and
+// cache counters at issue) are snapshotted at the same instant, so a few
+// in-flight instructions' events can land on either side of the cut; the
+// skew is bounded by the front-end depth plus the window size and
+// vanishes in relative terms as the measured body grows — the convergence
+// property the chunked-equivalence tests enforce. Commit-slot accounting
+// splits exactly: the base is taken between cycles, so measured
+// Stalls.Slots() == measured Cycles * IssueWidth still holds on
+// finite-width machines, and the measured profile still satisfies
+// Profile.Total() == Stats.Stalls.
+
+// SetWarmup arms the warmup epoch: the first n dispatched instructions
+// are simulated normally but excluded from the returned Stats (and from
+// an attached profile). Must be called before Run. n == 0 disables the
+// split. If the stream delivers n or fewer instructions the epoch never
+// closes: the full run is reported and WarmupDiscarded returns zeros.
+func (e *Engine) SetWarmup(n uint64) {
+	e.warmupLeft = n
+}
+
+// WarmupDiscarded reports the instruction and cycle counts of the warmup
+// epoch that Run discarded (zeros when no warmup was configured or the
+// epoch never closed).
+func (e *Engine) WarmupDiscarded() (insts, cycles uint64) {
+	if !e.warmupBaseSet {
+		return 0, 0
+	}
+	return e.warmupBase.Instructions, e.warmupBase.Cycles
+}
+
+// beginMeasure closes the warmup epoch: every counter's current value
+// becomes the base subtracted from the final stats. Called from dispatch
+// (wireDependencies) when the last warmup instruction has been charged;
+// account() has not yet run for the current cycle, so the base sits
+// exactly on a cycle boundary for slot accounting.
+func (e *Engine) beginMeasure() {
+	e.warmupBase = e.stats
+	e.warmupBase.Cycles = e.cycle
+	// run() copies the memory-system totals into stats only at the end;
+	// snapshot them live here.
+	e.warmupBase.DL1Misses = e.mem.DL1Miss
+	e.warmupBase.L2Misses = e.mem.L2Miss
+	e.warmupBase.TLBMisses = e.mem.TLBMiss
+	e.warmupBaseSet = true
+	if e.profPCs != nil {
+		if cap(e.warmupProfBase) < len(e.profPCs) {
+			e.warmupProfBase = make([]PCProfile, len(e.profPCs))
+		}
+		e.warmupProfBase = e.warmupProfBase[:len(e.profPCs)]
+		copy(e.warmupProfBase, e.profPCs)
+	}
+}
+
+// applyWarmup subtracts the warmup base from the final stats and profile.
+// Called once at the very end of run(), after the memory totals are
+// copied and the final invariant check has passed — checked mode always
+// validates the cumulative counters.
+func (e *Engine) applyWarmup() {
+	if !e.warmupBaseSet {
+		return
+	}
+	e.stats = e.stats.Delta(&e.warmupBase)
+	if e.profPCs != nil {
+		for i := range e.profPCs {
+			p, b := &e.profPCs[i], &e.warmupProfBase[i]
+			p.Retired -= b.Retired
+			p.ExecCycles -= b.ExecCycles
+			p.Slots = p.Slots.sub(b.Slots)
+		}
+	}
+}
