@@ -1,10 +1,11 @@
 // Command simbench measures the simulator's own speed — simulated MIPS
 // per machine model, steady-state allocation rate, trace record/replay
-// cost, time-parallel chunked replay and interval sampling (speed and
-// accuracy vs the serial golden run), and the serial vs parallel wall
-// time of the full experiment sweep — and writes the result as
-// machine-readable JSON (BENCH_PR7.json by default) so performance
-// trajectories can be compared across commits.
+// cost, persistent-store cold vs warm trace acquisition, time-parallel
+// chunked replay and interval sampling (speed and accuracy vs the serial
+// golden run), and the serial vs parallel wall time of the full
+// experiment sweep — and writes the result as machine-readable JSON
+// (BENCH_PR8.json by default) so performance trajectories can be compared
+// across commits.
 // Every run also appends one record to a persistent ledger
 // (.simledger/ledger.jsonl); -history reads the ledger back, compares the
 // newest run against a rolling baseline of earlier comparable runs, and
@@ -27,6 +28,7 @@ import (
 	"cryptoarch/internal/isa"
 	"cryptoarch/internal/metrics"
 	"cryptoarch/internal/ooo"
+	"cryptoarch/internal/store"
 )
 
 // benchWorkload is the fixed measurement target (the bench_test.go
@@ -73,6 +75,10 @@ type result struct {
 	// against the serial models above (same workload, same trace).
 	ChunkedBench []chunkBench  `json:"chunked_bench,omitempty"`
 	SampledBench []sampleBench `json:"sampled_bench,omitempty"`
+	// StoreBench measures the persistent store's trace tier: cold
+	// (record + write-through persist) vs warm (fault-in from disk)
+	// acquisition of the bench trace.
+	StoreBench *storeBench `json:"store_bench,omitempty"`
 	// TraceCache snapshots the harness cache counters after the per-model
 	// benchmark loop: hit/miss traffic of the replay path under test.
 	TraceCache           harness.TraceCacheStats `json:"trace_cache"`
@@ -239,6 +245,72 @@ func benchSampled(cfg ooo.Config, serial modelBench, intervals int) (sampleBench
 	}, nil
 }
 
+// storeBench is the persistent-store trace-tier measurement: per-round, a
+// fresh store directory is populated cold (functional recording +
+// write-through persist), the in-memory cache is dropped, and the same
+// trace is acquired warm (disk fault-in: read + checksum + decode +
+// validate). The cold/warm ratio is the incremental-sweep payoff per
+// trace.
+type storeBench struct {
+	ColdSeconds float64 `json:"store_cold_seconds"`
+	WarmSeconds float64 `json:"store_warm_seconds"`
+	Speedup     float64 `json:"speedup_cold_over_warm"`
+	// Stats snapshots the store counters of the final warm round (one
+	// trace hit, zero misses, if the store behaved).
+	Stats store.Stats `json:"stats"`
+}
+
+// benchStore runs the store cold/warm measurement in throwaway temp
+// directories; the process-wide store installed by -store-dir (if any) is
+// restored afterwards.
+func benchStore() (*storeBench, error) {
+	const rounds = 5
+	prev := harness.CurrentStore()
+	defer func() {
+		harness.SetStore(prev)
+		harness.ResetTraceCache()
+	}()
+	var cold, warm time.Duration
+	var stats store.Stats
+	for i := 0; i < rounds; i++ {
+		dir, err := os.MkdirTemp("", "simstore-bench-*")
+		if err != nil {
+			return nil, err
+		}
+		s, err := store.Open(dir, 1<<30)
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		harness.SetStore(s)
+		harness.ResetTraceCache()
+		start := time.Now()
+		if _, _, err := harness.StreamKernel(benchCipher, isa.FeatRot, benchSession, experiments.DefaultSeed); err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		cold += time.Since(start)
+		harness.ResetTraceCache() // drop memory, keep disk
+		start = time.Now()
+		if _, _, err := harness.StreamKernel(benchCipher, isa.FeatRot, benchSession, experiments.DefaultSeed); err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		warm += time.Since(start)
+		stats = store.ReadStats()
+		os.RemoveAll(dir)
+	}
+	sb := &storeBench{
+		ColdSeconds: cold.Seconds() / rounds,
+		WarmSeconds: warm.Seconds() / rounds,
+		Stats:       stats,
+	}
+	if sb.WarmSeconds > 0 {
+		sb.Speedup = sb.ColdSeconds / sb.WarmSeconds
+	}
+	return sb, nil
+}
+
 func timedSweep(workers int) float64 {
 	experiments.ResetCache() // drops cell results and recorded traces
 	prev := experiments.SetParallelism(workers)
@@ -363,11 +435,15 @@ func runHistory(dir string, window int, tol float64) int {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR7.json", "output file (\"-\" for stdout)")
+	out := flag.String("o", "BENCH_PR8.json", "output file (\"-\" for stdout)")
 	skipSweep := flag.Bool("nosweep", false, "skip the full-suite sweep timing (much faster)")
 	chunks := flag.Int("chunks", 8, "chunk count for the chunked-replay benchmark (0 disables)")
 	chunkWorkers := flag.Int("chunkworkers", 8, "explicit worker override for the chunked-replay benchmark")
 	sample := flag.Int("sample", 4, "interval count for the sampling benchmark (0 disables)")
+	storeDir := flag.String("store-dir", "", "install a persistent store for the whole run (\"\" = none; the store micro-benchmark uses its own temp stores either way)")
+	storeBudget := flag.Int64("store-budget", 2<<30, "persistent store byte budget (LRU-evicted)")
+	noStore := flag.Bool("no-store", false, "skip the store cold/warm micro-benchmark and ignore -store-dir")
+	traceBudget := flag.Int("trace-budget", 0, "in-memory trace-cache byte budget (0 = keep the default, 192 MiB)")
 	check := flag.String("check", "", "baseline JSON to compare against; exit non-zero if finite-model sim-MIPS drops below 50%")
 	ledgerDir := flag.String("ledger", ".simledger", "run-ledger directory (\"\" disables the ledger)")
 	history := flag.Bool("history", false, "don't benchmark; compare the newest ledger record against its rolling baseline and exit non-zero on regression")
@@ -377,6 +453,16 @@ func main() {
 
 	if *history {
 		os.Exit(runHistory(*ledgerDir, *window, *tol))
+	}
+
+	harness.SetTraceBudget(*traceBudget)
+	if *storeDir != "" && !*noStore {
+		s, err := store.Open(*storeDir, *storeBudget)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simbench:", err)
+			os.Exit(1)
+		}
+		harness.SetStore(s)
 	}
 
 	res := result{
@@ -435,6 +521,16 @@ func main() {
 	fmt.Fprintf(os.Stderr, "trace cache: %d hits, %d misses (%d records, %d replays, %d live)\n",
 		res.TraceCache.Hits, res.TraceCache.Misses, res.TraceCache.Records,
 		res.TraceCache.Replays, res.TraceCache.LiveFallbacks)
+	if !*noStore {
+		sb, err := benchStore()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "store: cold %8.1f ms (record+persist), warm %8.1f ms (fault-in)  %.1fx\n",
+			1e3*sb.ColdSeconds, 1e3*sb.WarmSeconds, sb.Speedup)
+		res.StoreBench = sb
+	}
 	if !*skipSweep {
 		res.SweepCells = len(experiments.AllCells())
 		res.SweepWorkers = runtime.GOMAXPROCS(0)

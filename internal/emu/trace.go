@@ -14,6 +14,14 @@ import (
 // compact pointer-free encoding, and replaying many times without paying
 // for functional execution again.
 
+// Version identifies the functional-emulation semantics generation, the
+// emu-side analogue of ooo.EngineVersion. The persistent trace store hashes
+// it into every trace key: bump it on any change to recorded-stream
+// semantics (instruction behavior, record packing, commit-path selection)
+// so traces recorded by older emulators become unreachable instead of
+// silently replaying stale dynamics.
+const Version = "emu-v1"
+
 // TraceRec is one packed retired instruction: 16 bytes, no pointers. Only
 // the dynamic facts the timing model consumes are stored — the effective
 // address of memory operations and the outcome of branches. Everything

@@ -20,6 +20,18 @@ const (
 	fig2OtherPerSess = 250_000 // connection handling, fixed
 )
 
+// The handshake measurement's fixed parameters. They are hoisted to
+// package level because the persistent result store folds them into the
+// handshake cell's identity key (store.go): editing any of them must
+// invalidate stored handshake results.
+const (
+	handshakeSeed       = 99
+	handshakeCRTSpeedup = 4
+)
+
+// handshakeFeat is the ISA level the handshake kernel is assembled at.
+var handshakeFeat = isa.FeatRot
+
 // measureHandshake times one 1024-bit private-key modular exponentiation
 // — the RSA operation that dominates SSL session establishment — on the
 // baseline 4W model. Production RSA implementations use the Chinese
@@ -27,9 +39,9 @@ const (
 // to 4x faster than the straight 1024-bit exponentiation our kernel
 // performs, so the measured cycle count is scaled by that factor.
 func measureHandshake() (uint64, error) {
-	const crtSpeedup = 4
-	w := pubkey.NewWorkload(99)
-	m, _ := pubkey.NewRun(w, isa.FeatRot, 0x20000, 0x80000)
+	const crtSpeedup = handshakeCRTSpeedup
+	w := pubkey.NewWorkload(handshakeSeed)
+	m, _ := pubkey.NewRun(w, handshakeFeat, 0x20000, 0x80000)
 	eng := ooo.NewEngine(ooo.FourWide, ooo.MachineStream{M: m})
 	eng.WarmData(0x20000, pubkey.CtxBytes)
 	eng.WarmCode(len(m.Prog.Code))

@@ -131,6 +131,9 @@ var (
 
 // getCell returns the completed result for c, executing it if this is the
 // first request. Concurrent requests for the same key share one execution.
+// With a persistent store installed, the singleflight body consults the
+// result tier before executing and write-through persists what it
+// executed, so a warm process re-simulates only cells the store missed.
 func getCell(c Cell) *cellResult {
 	k := c.key()
 	runMu.Lock()
@@ -140,7 +143,13 @@ func getCell(c Cell) *cellResult {
 		runCache[k] = r
 	}
 	runMu.Unlock()
-	r.once.Do(func() { r.exec(c) })
+	r.once.Do(func() {
+		if loadCellFromStore(c, r) {
+			return
+		}
+		r.exec(c)
+		saveCellToStore(c, r)
+	})
 	return r
 }
 
@@ -165,9 +174,11 @@ func Parallelism() int {
 }
 
 // ResetCache drops every memoized cell result and the harness trace
-// cache beneath it. Used by tests and benchmarks that compare independent
-// regenerations of the suite: after a reset, nothing — neither timing
-// results nor recorded instruction streams — is shared with prior runs.
+// cache beneath it, and (via ResetTraceCache) zeroes both the trace-cache
+// and persistent-store counters, so equivalence loops that regenerate the
+// suite per worker count start every pass from identical counter state.
+// The persistent store's on-disk entries survive: a reset forgets memory,
+// not disk.
 func ResetCache() {
 	runMu.Lock()
 	runCache = map[string]*cellResult{}

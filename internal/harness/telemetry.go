@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 
 	"cryptoarch/internal/metrics"
+	"cryptoarch/internal/store"
 )
 
 var (
@@ -34,6 +35,7 @@ func init() {
 func SetMetrics(r *metrics.Registry) (prev *metrics.Registry) {
 	prev = regPtr.Swap(r)
 	rebindTraceCounters(r)
+	store.Rebind(r)
 	return prev
 }
 

@@ -1,0 +1,227 @@
+package harness
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"cryptoarch/internal/emu"
+	"cryptoarch/internal/isa"
+	"cryptoarch/internal/kernels"
+	"cryptoarch/internal/store"
+)
+
+// This file threads the persistent content-addressed store under the
+// in-memory trace cache. The cache stays the fast path and the unit of
+// singleflight; the store is a write-through/read-back layer underneath
+// it: record() faults a missing trace in from disk before paying
+// functional emulation, and persists every freshly recorded complete
+// trace. Store entries are keyed by the full trace identity — emulator
+// version, kernel program digest, feature level, session, seed, mode — so
+// an edit to any of them misses and re-records instead of replaying stale
+// dynamics.
+
+var storePtr atomic.Pointer[store.Store]
+
+// SetStore installs the process-wide persistent store (nil, the default,
+// disables persistence) and returns the previous one, so commands and
+// tests can swap a store in and restore. The in-memory trace cache works
+// identically with or without one; only cold-start cost changes.
+func SetStore(s *store.Store) (prev *store.Store) {
+	return storePtr.Swap(s)
+}
+
+// CurrentStore returns the installed store, or nil when persistence is
+// off.
+func CurrentStore() *store.Store { return storePtr.Load() }
+
+// String names the trace mode for store keys and diagnostics.
+func (m traceMode) String() string {
+	switch m {
+	case modeDecrypt:
+		return "decrypt"
+	case modeSetup:
+		return "setup"
+	}
+	return "encrypt"
+}
+
+// progFor assembles the static program a key's trace was recorded against.
+// Kernel builds are pure functions of (cipher, kind, feat), so the program
+// is content-identical to the one the recording machine ran — that is
+// exactly what the digest in the store key certifies.
+func progFor(k traceKey) (*isa.Program, error) {
+	kern, err := kernels.Get(k.cipher)
+	if err != nil {
+		return nil, err
+	}
+	return kern.ProgramFor(k.mode.String(), k.feat)
+}
+
+// digestCache memoizes kernel program digests: programs are immutable
+// within a process, and hashing a few thousand instructions per cell
+// request would be pointless work.
+var digestCache struct {
+	mu sync.Mutex
+	m  map[traceKey]string
+}
+
+// digestFor returns the content digest of the key's program (session and
+// seed do not participate; the cache key zeroes them).
+func digestFor(k traceKey) (string, error) {
+	ck := traceKey{cipher: k.cipher, feat: k.feat, mode: k.mode}
+	digestCache.mu.Lock()
+	d, ok := digestCache.m[ck]
+	digestCache.mu.Unlock()
+	if ok {
+		return d, nil
+	}
+	prog, err := progFor(ck)
+	if err != nil {
+		return "", err
+	}
+	d = store.ProgramDigest(prog)
+	digestCache.mu.Lock()
+	if digestCache.m == nil {
+		digestCache.m = make(map[traceKey]string)
+	}
+	digestCache.m[ck] = d
+	digestCache.mu.Unlock()
+	return d, nil
+}
+
+// KernelDigest returns the content digest of a cipher's assembled program
+// of one kind ("encrypt", "decrypt" or "setup") at a feature level. The
+// result-tier store keys embed it, so any kernel edit provably invalidates
+// every stored result that executed those bytes.
+func KernelDigest(cipher string, feat isa.Feature, kind string) (string, error) {
+	var mode traceMode
+	switch kind {
+	case "encrypt":
+		mode = modeEncrypt
+	case "decrypt":
+		mode = modeDecrypt
+	case "setup":
+		mode = modeSetup
+	default:
+		return "", fmt.Errorf("harness: unknown kernel kind %q", kind)
+	}
+	return digestFor(traceKey{cipher: cipher, feat: feat, mode: mode})
+}
+
+// storeKeyFor derives the trace-tier store key of a cache key.
+func storeKeyFor(k traceKey) (string, error) {
+	d, err := digestFor(k)
+	if err != nil {
+		return "", err
+	}
+	return store.TraceIdentity{
+		EmuVersion: emu.Version,
+		Cipher:     k.cipher,
+		Feat:       k.feat.String(),
+		ProgDigest: d,
+		Session:    k.session,
+		Seed:       k.seed,
+		Mode:       k.mode.String(),
+	}.Key(), nil
+}
+
+// encodeRecs packs trace records into the on-disk payload: per record,
+// Addr as LE64 then (Idx | Br<<32) as LE64 — the exact byte sequence
+// emu.ChecksumRecs hashes, so the store's payload checksum IS the trace
+// checksum (pinned by TestStorePayloadChecksumIsTraceChecksum). One FNV-1a
+// sum therefore serves file integrity on disk and replay integrity in
+// memory.
+func encodeRecs(recs []emu.TraceRec) []byte {
+	b := make([]byte, len(recs)*emu.TraceRecBytes)
+	for i := range recs {
+		r := &recs[i]
+		off := i * emu.TraceRecBytes
+		binary.LittleEndian.PutUint64(b[off:off+8], r.Addr)
+		binary.LittleEndian.PutUint64(b[off+8:off+16], uint64(r.Idx)|uint64(r.Br)<<32)
+	}
+	return b
+}
+
+// decodeRecs unpacks an on-disk payload; false on a torn length.
+func decodeRecs(b []byte) ([]emu.TraceRec, bool) {
+	if len(b)%emu.TraceRecBytes != 0 {
+		return nil, false
+	}
+	recs := make([]emu.TraceRec, len(b)/emu.TraceRecBytes)
+	for i := range recs {
+		off := i * emu.TraceRecBytes
+		recs[i].Addr = binary.LittleEndian.Uint64(b[off : off+8])
+		w := binary.LittleEndian.Uint64(b[off+8 : off+16])
+		recs[i].Idx = uint32(w)
+		recs[i].Br = uint32(w >> 32)
+	}
+	return recs, true
+}
+
+// loadTraceFromStore tries to fault a complete trace in from the
+// persistent store. On success the trace is structurally validated
+// (Trace.Validate) against the freshly assembled program and returned with
+// its checksum — which the store already verified on load — and static
+// code length. Every failure (no store, key underivable, store miss,
+// undecodable payload, validation) is just "not ok": the caller records
+// live, exactly as if the store did not exist.
+func loadTraceFromStore(k traceKey) (*emu.Trace, uint64, int, bool) {
+	s := CurrentStore()
+	if s == nil {
+		return nil, 0, 0, false
+	}
+	key, err := storeKeyFor(k)
+	if err != nil {
+		return nil, 0, 0, false
+	}
+	payload, sum, ok := s.Get(store.TierTrace, key)
+	if !ok {
+		return nil, 0, 0, false
+	}
+	recs, ok := decodeRecs(payload)
+	if !ok {
+		return nil, 0, 0, false
+	}
+	prog, err := progFor(k)
+	if err != nil {
+		return nil, 0, 0, false
+	}
+	tr := &emu.Trace{Prog: prog, Recs: recs}
+	if tr.Validate() != nil {
+		return nil, 0, 0, false
+	}
+	return tr, sum, len(prog.Code), true
+}
+
+// saveTraceToStore persists a freshly recorded complete trace
+// (write-through). Oversized sessions never reach here — they are not
+// retained in memory either. Errors are deliberately dropped: persistence
+// is an accelerator, and a full disk must not fail a simulation run.
+func saveTraceToStore(k traceKey, tr *emu.Trace) {
+	s := CurrentStore()
+	if s == nil {
+		return
+	}
+	key, err := storeKeyFor(k)
+	if err != nil {
+		return
+	}
+	s.Put(store.TierTrace, key, encodeRecs(tr.Recs))
+}
+
+// SetTraceBudget sets the trace-cache LRU byte budget (exposed as
+// -trace-budget on asplos2000 and simbench) and returns the previous
+// value. Non-positive values leave the budget unchanged. Shrinking evicts
+// immediately.
+func SetTraceBudget(n int) int {
+	traces.mu.Lock()
+	defer traces.mu.Unlock()
+	prev := traceBudgetBytes
+	if n > 0 {
+		traceBudgetBytes = n
+		traces.evictLocked()
+	}
+	return prev
+}

@@ -101,6 +101,28 @@ func buildSafe(name string, build func(isa.Feature) *isa.Program, feat isa.Featu
 	return build(feat), nil
 }
 
+// ProgramFor assembles one of the kernel's programs by kind — "encrypt",
+// "decrypt" or "setup" — at a feature level, behind the same panic-to-error
+// boundary as the run constructors. The persistent store uses it to digest
+// kernel bytes (and to recover the static program for a replayed trace)
+// without building a machine or touching simulated memory.
+func (k *Kernel) ProgramFor(kind string, feat isa.Feature) (*isa.Program, error) {
+	build := k.Build
+	switch kind {
+	case "encrypt":
+	case "decrypt":
+		build = k.BuildDec
+	case "setup":
+		build = k.BuildSetup
+	default:
+		return nil, fmt.Errorf("kernels: unknown program kind %q (want encrypt, decrypt or setup)", kind)
+	}
+	if build == nil {
+		return nil, fmt.Errorf("kernels: %s has no %s program", k.Name, kind)
+	}
+	return buildSafe(k.Name, build, feat)
+}
+
 // Names lists registered kernels, sorted.
 func Names() []string {
 	var out []string

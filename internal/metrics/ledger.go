@@ -4,7 +4,6 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
-	"hash/fnv"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -55,14 +54,12 @@ type LedgerRecord struct {
 // DeriveKey returns the FNV-1a content hash (16 hex digits) of the
 // record's identity fields. Models and timestamps are deliberately
 // excluded: the key identifies what was measured and by which engine, not
-// what the measurement was or when.
+// what the measurement was or when. The derivation goes through HashKey —
+// the helper the persistent result store keys also use — with the exact
+// field order this function has always hashed, so existing ledgers stay
+// comparable (pinned by TestDeriveKeySensitivity).
 func (r *LedgerRecord) DeriveKey() string {
-	h := fnv.New64a()
-	for _, s := range []string{r.GoVersion, strconv.Itoa(r.GOMAXPROCS), r.Workload, r.Config, r.EngineVersion} {
-		h.Write([]byte(s))
-		h.Write([]byte{0}) // field separator so "a"+"bc" != "ab"+"c"
-	}
-	return fmt.Sprintf("%016x", h.Sum64())
+	return HashKey(r.GoVersion, strconv.Itoa(r.GOMAXPROCS), r.Workload, r.Config, r.EngineVersion)
 }
 
 // Ledger is a handle on one append-only ledger file.

@@ -1,0 +1,516 @@
+// Package store is the persistent content-addressed result store: an
+// on-disk, two-tier cache (packed traces and finished cell results) under
+// .simstore/ that survives process exit, so a warm sweep re-simulates only
+// the cells the current diff invalidated and loads the rest in
+// milliseconds.
+//
+// Entries are addressed by FNV-1a content-hash keys over their complete
+// identity (key.go) — the emulator and engine versions, the kernel program
+// bytes, the session parameters, the machine configuration. Identity lives
+// entirely in the key: the store never updates an entry in place, and a
+// change to any identity field derives a different key, so staleness is
+// structurally impossible; the only failure modes left are capacity (LRU
+// eviction against a byte budget) and corruption (checksums verified on
+// every load; corrupt entries are deleted, counted, and reported as
+// misses so the caller re-records exactly once — the same discipline as
+// the trace cache's ChecksumEvictions).
+//
+// Writes are atomic (temp file + rename into place), so a crashed or
+// concurrent writer can never leave a half-written entry under a live key;
+// at worst a truncated temp file leaks and is swept at the next Open.
+// Traffic counters ride on the shared metrics registry (store.* names) and
+// reach simbench JSON and asplos2000 -json via ReadStats.
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cryptoarch/internal/metrics"
+)
+
+// SchemaVersion identifies the on-disk entry format and key schema. It is
+// hashed into every key and stamped into MANIFEST.json; bumping it makes
+// every old entry unreachable and makes Open refuse old directories with
+// ErrStale rather than silently mixing formats.
+const SchemaVersion = 1
+
+// ErrStale marks a store directory whose manifest disagrees with this
+// binary's schema (or a populated directory with no manifest at all).
+// Callers decide policy: asplos2000 refuses -write against a stale store
+// and otherwise warns and runs storeless.
+var ErrStale = errors.New("store: directory schema is stale")
+
+// Tier selects one of the store's two namespaces.
+type Tier int
+
+const (
+	// TierTrace holds packed emu.TraceRec payloads: loading one skips
+	// functional re-emulation.
+	TierTrace Tier = iota
+	// TierResult holds finished cell results (ooo.Stats + report
+	// fragments): loading one skips simulation entirely.
+	TierResult
+)
+
+// dir returns the tier's subdirectory name.
+func (t Tier) dir() string {
+	if t == TierResult {
+		return "result"
+	}
+	return "trace"
+}
+
+// String names the tier for diagnostics.
+func (t Tier) String() string { return t.dir() }
+
+// Entry file layout: a 24-byte header followed by the payload.
+const (
+	entryMagic  = "simstor1"
+	headerBytes = 24 // magic(8) | payload len LE64 | FNV-1a sum LE64
+)
+
+// checksum is the payload integrity hash: FNV-1a 64-bit, the repo-wide
+// standard. For trace-tier entries the payload encoding is chosen so this
+// equals emu.ChecksumRecs of the decoded records (pinned by a harness
+// test), so one hash serves both file integrity and trace identity.
+func checksum(payload []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(payload)
+	return h.Sum64()
+}
+
+// manifest is the MANIFEST.json shape.
+type manifest struct {
+	SchemaVersion int `json:"schema_version"`
+}
+
+// manifestFile is the manifest's file name inside the store directory.
+const manifestFile = "MANIFEST.json"
+
+// entry is the in-memory index of one on-disk entry.
+type entry struct {
+	size    int64  // file size including header
+	lastUse uint64 // store clock at last touch (LRU)
+}
+
+// Store is a handle on one store directory. All methods are safe for
+// concurrent use and are no-ops (reporting misses without counting) on a
+// nil *Store, so call sites need no "is the store on" branches.
+type Store struct {
+	mu      sync.Mutex
+	root    string
+	budget  int64
+	bytes   int64
+	clock   uint64
+	entries map[string]*entry // rel path "tier/key" -> entry
+}
+
+// Open opens (creating if needed) the store directory with the given byte
+// budget and returns a handle. A populated directory whose manifest is
+// missing or names a different schema returns ErrStale (wrapped) — the
+// caller chooses between refusing and running storeless; Open never
+// deletes a stale directory. Existing entries are indexed in file-mtime
+// order so LRU eviction order survives across processes.
+func Open(dir string, budget int64) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	if budget <= 0 {
+		return nil, fmt.Errorf("store: non-positive byte budget %d", budget)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{root: dir, budget: budget, entries: make(map[string]*entry)}
+	if err := s.checkManifest(); err != nil {
+		return nil, err
+	}
+	type scanned struct {
+		rel   string
+		size  int64
+		mtime time.Time
+	}
+	var found []scanned
+	for _, t := range []Tier{TierTrace, TierResult} {
+		td := filepath.Join(dir, t.dir())
+		if err := os.MkdirAll(td, 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		des, err := os.ReadDir(td)
+		if err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		for _, de := range des {
+			if !de.Type().IsRegular() {
+				continue
+			}
+			info, err := de.Info()
+			if err != nil {
+				continue
+			}
+			found = append(found, scanned{
+				rel:   t.dir() + "/" + de.Name(),
+				size:  info.Size(),
+				mtime: info.ModTime(),
+			})
+		}
+	}
+	// Sweep temp files a crashed writer may have left in the root.
+	if des, err := os.ReadDir(dir); err == nil {
+		for _, de := range des {
+			if de.Type().IsRegular() && strings.HasPrefix(de.Name(), "put-") {
+				os.Remove(filepath.Join(dir, de.Name()))
+			}
+		}
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].mtime.Before(found[j].mtime) })
+	for _, f := range found {
+		s.clock++
+		s.entries[f.rel] = &entry{size: f.size, lastUse: s.clock}
+		s.bytes += f.size
+	}
+	s.mu.Lock()
+	s.evictLocked()
+	s.mu.Unlock()
+	return s, nil
+}
+
+// checkManifest validates or creates MANIFEST.json. A missing manifest is
+// only acceptable in an unpopulated directory (a fresh store); anything
+// else is ErrStale.
+func (s *Store) checkManifest() error {
+	path := filepath.Join(s.root, manifestFile)
+	b, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		var m manifest
+		if json.Unmarshal(b, &m) != nil || m.SchemaVersion != SchemaVersion {
+			return fmt.Errorf("%w: %s has schema %s, want %d",
+				ErrStale, path, manifestSchema(b), SchemaVersion)
+		}
+		return nil
+	case os.IsNotExist(err):
+		for _, t := range []Tier{TierTrace, TierResult} {
+			des, derr := os.ReadDir(filepath.Join(s.root, t.dir()))
+			if derr == nil && len(des) > 0 {
+				return fmt.Errorf("%w: %s is populated but has no %s",
+					ErrStale, s.root, manifestFile)
+			}
+		}
+		mb, _ := json.Marshal(manifest{SchemaVersion: SchemaVersion})
+		return s.writeAtomic(path, append(mb, '\n'))
+	default:
+		return fmt.Errorf("store: %w", err)
+	}
+}
+
+// manifestSchema renders the schema version of raw manifest bytes for the
+// ErrStale message ("?" when unparseable).
+func manifestSchema(b []byte) string {
+	var m manifest
+	if json.Unmarshal(b, &m) != nil {
+		return "?"
+	}
+	return fmt.Sprintf("%d", m.SchemaVersion)
+}
+
+// Root returns the store directory ("" on a nil store).
+func (s *Store) Root() string {
+	if s == nil {
+		return ""
+	}
+	return s.root
+}
+
+// EntryPath returns the file path an entry lives at (whether or not it
+// exists). Corruption tests use it to truncate and bit-flip entries.
+func (s *Store) EntryPath(t Tier, key string) string {
+	if s == nil {
+		return ""
+	}
+	return filepath.Join(s.root, t.dir(), key)
+}
+
+// BytesUsed returns the current accounted size of the store.
+func (s *Store) BytesUsed() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// Len returns the number of indexed entries.
+func (s *Store) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Get loads an entry's payload, verifying the header and FNV-1a checksum.
+// A missing entry is a plain miss. A corrupted or truncated entry is
+// deleted from disk, counted on the corrupt counter, and reported as a
+// miss — the caller re-records and Puts, so corruption costs exactly one
+// re-computation. The returned sum is the payload checksum from the
+// verified header (for trace entries, equal to emu.ChecksumRecs of the
+// decoded records).
+func (s *Store) Get(t Tier, key string) (payload []byte, sum uint64, ok bool) {
+	if s == nil {
+		return nil, 0, false
+	}
+	c := ctr()
+	start := time.Now()
+	path := s.EntryPath(t, key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		c.missOf(t).Inc()
+		return nil, 0, false
+	}
+	if len(data) < headerBytes ||
+		string(data[:8]) != entryMagic ||
+		binary.LittleEndian.Uint64(data[8:16]) != uint64(len(data)-headerBytes) {
+		s.dropCorrupt(t, key, path)
+		return nil, 0, false
+	}
+	payload = data[headerBytes:]
+	sum = binary.LittleEndian.Uint64(data[16:24])
+	if checksum(payload) != sum {
+		s.dropCorrupt(t, key, path)
+		return nil, 0, false
+	}
+	c.loadNS.Add(time.Since(start).Nanoseconds())
+	c.hitOf(t).Inc()
+	s.mu.Lock()
+	s.clock++
+	rel := t.dir() + "/" + key
+	if e := s.entries[rel]; e != nil {
+		e.lastUse = s.clock
+	} else {
+		// Written by another process since Open; adopt it.
+		s.entries[rel] = &entry{size: int64(len(data)), lastUse: s.clock}
+		s.bytes += int64(len(data))
+		s.evictLocked()
+	}
+	s.mu.Unlock()
+	// Touch the file so cross-process LRU order tracks use, not creation.
+	now := time.Now()
+	os.Chtimes(path, now, now)
+	return payload, sum, true
+}
+
+// dropCorrupt deletes a failed-verification entry and counts it. The miss
+// counter advances too: the caller pays a re-computation either way, and
+// hit+miss must keep summing to requests.
+func (s *Store) dropCorrupt(t Tier, key, path string) {
+	c := ctr()
+	c.corrupt.Inc()
+	c.missOf(t).Inc()
+	os.Remove(path)
+	s.mu.Lock()
+	rel := t.dir() + "/" + key
+	if e := s.entries[rel]; e != nil {
+		s.bytes -= e.size
+		delete(s.entries, rel)
+	}
+	s.mu.Unlock()
+}
+
+// Put writes an entry atomically: header + payload into a temp file in the
+// store root, fsync'd order not required (a torn write fails the checksum
+// and self-heals as a corrupt miss), then renamed into place. Payloads
+// that alone exceed the byte budget are silently not stored. Overwriting
+// an existing key is allowed and idempotent — content addressing means the
+// bytes are identical anyway.
+func (s *Store) Put(t Tier, key string, payload []byte) error {
+	if s == nil {
+		return nil
+	}
+	if int64(len(payload))+headerBytes > s.budget {
+		return nil
+	}
+	c := ctr()
+	start := time.Now()
+	hdr := make([]byte, headerBytes)
+	copy(hdr, entryMagic)
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(len(payload)))
+	binary.LittleEndian.PutUint64(hdr[16:24], checksum(payload))
+	f, err := os.CreateTemp(s.root, "put-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp := f.Name()
+	if _, err = f.Write(hdr); err == nil {
+		_, err = f.Write(payload)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, s.EntryPath(t, key))
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
+	size := int64(headerBytes + len(payload))
+	s.mu.Lock()
+	s.clock++
+	rel := t.dir() + "/" + key
+	if e := s.entries[rel]; e != nil {
+		s.bytes -= e.size
+	}
+	s.entries[rel] = &entry{size: size, lastUse: s.clock}
+	s.bytes += size
+	s.evictLocked()
+	s.mu.Unlock()
+	c.writes.Inc()
+	c.writeNS.Add(time.Since(start).Nanoseconds())
+	return nil
+}
+
+// writeAtomic writes a non-entry file (the manifest) via temp + rename.
+func (s *Store) writeAtomic(path string, b []byte) error {
+	f, err := os.CreateTemp(s.root, "put-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp := f.Name()
+	_, err = f.Write(b)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// evictLocked enforces the byte budget by deleting least-recently-used
+// entries (both tiers compete for the same budget). Caller holds s.mu.
+func (s *Store) evictLocked() {
+	for s.bytes > s.budget && len(s.entries) > 0 {
+		var victim string
+		var ve *entry
+		for rel, e := range s.entries {
+			if ve == nil || e.lastUse < ve.lastUse {
+				victim, ve = rel, e
+			}
+		}
+		s.bytes -= ve.size
+		delete(s.entries, victim)
+		os.Remove(filepath.Join(s.root, filepath.FromSlash(victim)))
+		ctr().evictions.Inc()
+	}
+}
+
+// counters holds the registry handles of the store counters, rebound
+// whenever the harness swaps the telemetry registry. All handles are nil
+// when telemetry is disabled; every update site then no-ops.
+type counters struct {
+	traceHits, traceMisses   *metrics.Counter
+	resultHits, resultMisses *metrics.Counter
+	writes, evictions        *metrics.Counter
+	corrupt                  *metrics.Counter
+	loadNS, writeNS          *metrics.Counter
+}
+
+var ctrPtr atomic.Pointer[counters]
+
+func init() { Rebind(nil) }
+
+// Rebind points the store counters at a registry (nil disables them). The
+// harness calls this from SetMetrics so store traffic lands on the same
+// registry as everything else.
+func Rebind(r *metrics.Registry) {
+	ctrPtr.Store(&counters{
+		traceHits:    r.Counter("store.trace_hits"),
+		traceMisses:  r.Counter("store.trace_misses"),
+		resultHits:   r.Counter("store.result_hits"),
+		resultMisses: r.Counter("store.result_misses"),
+		writes:       r.Counter("store.writes"),
+		evictions:    r.Counter("store.evictions"),
+		corrupt:      r.Counter("store.corrupt"),
+		loadNS:       r.Counter("store.load_ns"),
+		writeNS:      r.Counter("store.write_ns"),
+	})
+}
+
+// ctr returns the current counter handles (never nil; the handles inside
+// are nil when telemetry is off).
+func ctr() *counters { return ctrPtr.Load() }
+
+func (c *counters) hitOf(t Tier) *metrics.Counter {
+	if t == TierResult {
+		return c.resultHits
+	}
+	return c.traceHits
+}
+
+func (c *counters) missOf(t Tier) *metrics.Counter {
+	if t == TierResult {
+		return c.resultMisses
+	}
+	return c.traceMisses
+}
+
+// ResetCounters zeroes the store counters in place (handles stay valid).
+// experiments.ResetCache and the benchmarks use it so hit/miss state does
+// not leak across timed passes or worker-count configurations.
+func ResetCounters() {
+	c := ctr()
+	for _, k := range []*metrics.Counter{
+		c.traceHits, c.traceMisses, c.resultHits, c.resultMisses,
+		c.writes, c.evictions, c.corrupt, c.loadNS, c.writeNS,
+	} {
+		k.Reset()
+	}
+}
+
+// Stats is the stable JSON view of the store counters, assembled from the
+// registry the same way TraceCacheStats is.
+type Stats struct {
+	TraceHits    int           `json:"trace_hits"`
+	TraceMisses  int           `json:"trace_misses"`
+	ResultHits   int           `json:"result_hits"`
+	ResultMisses int           `json:"result_misses"`
+	Writes       int           `json:"writes"`
+	Evictions    int           `json:"evictions"`
+	Corrupt      int           `json:"corrupt"`
+	LoadTime     time.Duration `json:"load_time_ns"`
+	WriteTime    time.Duration `json:"write_time_ns"`
+}
+
+// ReadStats returns a snapshot of the store counters.
+func ReadStats() Stats {
+	c := ctr()
+	return Stats{
+		TraceHits:    int(c.traceHits.Value()),
+		TraceMisses:  int(c.traceMisses.Value()),
+		ResultHits:   int(c.resultHits.Value()),
+		ResultMisses: int(c.resultMisses.Value()),
+		Writes:       int(c.writes.Value()),
+		Evictions:    int(c.evictions.Value()),
+		Corrupt:      int(c.corrupt.Value()),
+		LoadTime:     time.Duration(c.loadNS.Value()),
+		WriteTime:    time.Duration(c.writeNS.Value()),
+	}
+}
