@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -39,8 +41,10 @@ const (
 )
 
 // resultSchemaVersion stamps the simbench JSON output; bump on field
-// renames or meaning changes.
-const resultSchemaVersion = 1
+// renames or meaning changes. Version 2 added ipc and stall_shares to the
+// per-model block (the simulated workload's shape, so regressions can be
+// attributed, not just detected).
+const resultSchemaVersion = 2
 
 // benchConfigID names the benchmark procedure in the ledger key: what was
 // measured and how. Bump it if the measured model set or methodology
@@ -60,6 +64,11 @@ type modelBench struct {
 	SimMIPS      float64 `json:"simulated_mips"`
 	AllocsPerRun int64   `json:"allocs_per_run"`
 	BytesPerRun  int64   `json:"bytes_per_run"`
+	// IPC and StallShares describe the simulated workload itself (from the
+	// warm-up run's commit-slot accounting); shares are absent on models
+	// with no slot budget (DF).
+	IPC         float64            `json:"ipc,omitempty"`
+	StallShares map[string]float64 `json:"stall_shares,omitempty"`
 }
 
 type result struct {
@@ -122,7 +131,7 @@ func benchModel(cfg ooo.Config) (modelBench, error) {
 		}
 	})
 	sec := r.T.Seconds() / float64(r.N)
-	return modelBench{
+	mb := modelBench{
 		Model:        cfg.Name,
 		Instructions: st.Instructions,
 		Cycles:       st.Cycles,
@@ -130,7 +139,12 @@ func benchModel(cfg ooo.Config) (modelBench, error) {
 		SimMIPS:      float64(st.Instructions) / sec / 1e6,
 		AllocsPerRun: r.AllocsPerOp(),
 		BytesPerRun:  r.AllocedBytesPerOp(),
-	}, nil
+		StallShares:  st.Stalls.Shares(),
+	}
+	if st.Cycles > 0 {
+		mb.IPC = float64(st.Instructions) / float64(st.Cycles)
+	}
+	return mb, nil
 }
 
 // chunkBench is one model's time-parallel chunked-replay measurement:
@@ -321,8 +335,34 @@ func timedSweep(workers int) float64 {
 	return time.Since(start).Seconds()
 }
 
+// attributionLines renders the per-cause stall-share movement between two
+// measurements of the same model — the differential view of *what the
+// simulated workload was doing* on each side of a regression — or the
+// honest reason no attribution is available (pre-v2 records carry no
+// shares; fabricating a breakdown would be worse than silence).
+func attributionLines(base, next map[string]float64) []string {
+	deltas := metrics.AttributeShares(base, next)
+	if deltas == nil {
+		return []string{"    no stall shares recorded on one side (pre-v2 record) — re-run to capture attribution"}
+	}
+	var lines []string
+	for _, d := range deltas {
+		if d.Delta == 0 {
+			continue
+		}
+		lines = append(lines, fmt.Sprintf("    %-9s %5.1f%% → %5.1f%%  (%+.1f pts of slot budget)",
+			d.Cause, 100*d.Base, 100*d.Next, 100*d.Delta))
+	}
+	if len(lines) == 0 {
+		return []string{"    stall shares identical — the workload's shape is unchanged; the slowdown is simulator overhead"}
+	}
+	return lines
+}
+
 // checkBaseline compares fresh finite-model sim-MIPS against a committed
-// baseline file and reports every model that dropped below half.
+// baseline file and reports every model that dropped below half, with the
+// per-cause stall-share attribution for each regressing model (which
+// bottleneck grew between the two measurements) rather than a bare ratio.
 func checkBaseline(fresh []modelBench, path string) error {
 	b, err := os.ReadFile(path)
 	if err != nil {
@@ -332,25 +372,26 @@ func checkBaseline(fresh []modelBench, path string) error {
 	if err := json.Unmarshal(b, &base); err != nil {
 		return fmt.Errorf("%s: %v", path, err)
 	}
-	baseMIPS := map[string]float64{}
+	baseModels := map[string]modelBench{}
 	for _, m := range base.Models {
-		baseMIPS[m.Model] = m.SimMIPS
+		baseModels[m.Model] = m
 	}
 	var bad []string
 	for _, m := range fresh {
 		if m.Model == "DF" {
 			continue // infinite-window model: not part of the smoke gate
 		}
-		want, ok := baseMIPS[m.Model]
-		if !ok || want <= 0 {
+		want, ok := baseModels[m.Model]
+		if !ok || want.SimMIPS <= 0 {
 			continue
 		}
-		if m.SimMIPS < 0.5*want {
-			bad = append(bad, fmt.Sprintf("%s: %.2f sim-MIPS < 50%% of baseline %.2f", m.Model, m.SimMIPS, want))
+		if m.SimMIPS < 0.5*want.SimMIPS {
+			bad = append(bad, fmt.Sprintf("%s: %.2f sim-MIPS < 50%% of baseline %.2f — stall-share attribution:", m.Model, m.SimMIPS, want.SimMIPS))
+			bad = append(bad, attributionLines(want.StallShares, m.StallShares)...)
 		}
 	}
 	if len(bad) > 0 {
-		return fmt.Errorf("bench regression vs %s:\n  %v", path, bad)
+		return fmt.Errorf("bench regression vs %s:\n  %s", path, strings.Join(bad, "\n  "))
 	}
 	return nil
 }
@@ -378,10 +419,12 @@ func checkAccuracy(chunked []chunkBench, sampled []sampleBench) error {
 	return nil
 }
 
-// printTrends renders the trend table and reports whether any gated
-// model regressed. DF (the infinite-window model) is excluded from gating
-// like everywhere else in the repo's perf tripwires, but still printed.
-func printTrends(trends []metrics.Trend) (regressed bool) {
+// printTrends renders the trend table and returns the gated models that
+// regressed (deduplicated, in table order), so the caller can attribute
+// each one. DF (the infinite-window model) is excluded from gating like
+// everywhere else in the repo's perf tripwires, but still printed.
+func printTrends(trends []metrics.Trend) (regressed []string) {
+	seen := map[string]bool{}
 	fmt.Fprintf(os.Stderr, "%-4s %-11s %12s %12s %8s %s\n", "model", "metric", "baseline", "latest", "change", "verdict")
 	for _, t := range trends {
 		if t.Samples == 0 {
@@ -392,7 +435,10 @@ func printTrends(trends []metrics.Trend) (regressed bool) {
 		if t.Regressed {
 			verdict = "REGRESSED"
 			if t.Model != "DF" {
-				regressed = true
+				if !seen[t.Model] {
+					seen[t.Model] = true
+					regressed = append(regressed, t.Model)
+				}
 			} else {
 				verdict = "REGRESSED (DF: not gated)"
 			}
@@ -401,6 +447,42 @@ func printTrends(trends []metrics.Trend) (regressed bool) {
 			t.Model, t.Metric, t.Baseline, t.Latest, 100*t.Change, verdict, t.Samples)
 	}
 	return regressed
+}
+
+// ledgerShares finds one model's stall-share map within a ledger record
+// (nil when the model is absent or the record predates shares).
+func ledgerShares(rec metrics.LedgerRecord, model string) map[string]float64 {
+	for _, m := range rec.Models {
+		if m.Model == model {
+			return m.StallShares
+		}
+	}
+	return nil
+}
+
+// printHistoryAttribution explains each regressed model of the newest
+// ledger record against the most recent earlier comparable (same-key)
+// record: per-cause stall-share deltas, so a -history trip names the
+// bottleneck that moved instead of leaving a bare ratio.
+func printHistoryAttribution(recs []metrics.LedgerRecord, regressed []string) {
+	latest := recs[len(recs)-1]
+	var prev *metrics.LedgerRecord
+	for i := len(recs) - 2; i >= 0; i-- {
+		if recs[i].Key == latest.Key {
+			prev = &recs[i]
+			break
+		}
+	}
+	for _, model := range regressed {
+		fmt.Fprintf(os.Stderr, "attribution %s (vs previous comparable record):\n", model)
+		if prev == nil {
+			fmt.Fprintln(os.Stderr, "    no earlier comparable record to attribute against")
+			continue
+		}
+		for _, line := range attributionLines(ledgerShares(*prev, model), ledgerShares(latest, model)) {
+			fmt.Fprintln(os.Stderr, line)
+		}
+	}
 }
 
 // runHistory implements -history: compare the newest ledger record
@@ -427,7 +509,8 @@ func runHistory(dir string, window int, tol float64) int {
 	latest := recs[len(recs)-1]
 	fmt.Fprintf(os.Stderr, "ledger %s: %d record(s); latest key %s (%s, %s)\n",
 		l.Path(), len(recs), latest.Key, latest.GoVersion, latest.EngineVersion)
-	if printTrends(metrics.Trends(recs, window, tol)) {
+	if regressed := printTrends(metrics.Trends(recs, window, tol)); len(regressed) > 0 {
+		printHistoryAttribution(recs, regressed)
 		fmt.Fprintln(os.Stderr, "simbench: performance regressed vs rolling baseline")
 		return 1
 	}
@@ -449,6 +532,7 @@ func main() {
 	history := flag.Bool("history", false, "don't benchmark; compare the newest ledger record against its rolling baseline and exit non-zero on regression")
 	window := flag.Int("window", 5, "rolling-baseline window for -history (earlier comparable runs averaged)")
 	tol := flag.Float64("tol", 0.30, "relative tolerance for -history (0.30 = flag a >30% move in the bad direction)")
+	metricsAddr := flag.String("metrics-addr", "", "serve read-only telemetry over HTTP on this address (e.g. 127.0.0.1:8088; empty = off): /metrics is the live registry snapshot, /progress the current benchmark phase")
 	flag.Parse()
 
 	if *history {
@@ -456,6 +540,29 @@ func main() {
 	}
 
 	harness.SetTraceBudget(*traceBudget)
+
+	// Read-only HTTP observability, off by default: the live metrics
+	// registry plus which benchmark phase is running (a full simbench run
+	// takes minutes; /progress answers "where is it" without interrupting).
+	var phaseMu sync.Mutex
+	phaseNow := "startup"
+	setPhase := func(p string) {
+		phaseMu.Lock()
+		phaseNow = p
+		phaseMu.Unlock()
+	}
+	if *metricsAddr != "" {
+		addr, err := metrics.ServeMetrics(*metricsAddr, harness.Metrics(), func() any {
+			phaseMu.Lock()
+			defer phaseMu.Unlock()
+			return map[string]string{"phase": phaseNow}
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "metrics: read-only telemetry on http://%s (/metrics, /progress)\n", addr)
+	}
 	if *storeDir != "" && !*noStore {
 		s, err := store.Open(*storeDir, *storeBudget)
 		if err != nil {
@@ -472,6 +579,7 @@ func main() {
 		Workload:      "blowfish/rot/4096B CBC session, seed 12345",
 		EngineVersion: ooo.EngineVersion,
 	}
+	setPhase("trace-record")
 	rec, err := benchRecord()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simbench:", err)
@@ -480,6 +588,7 @@ func main() {
 	res.TraceRecordSeconds = rec
 	fmt.Fprintf(os.Stderr, "trace record %8.1f ms (one-time per cell)\n", 1e3*rec)
 	for _, cfg := range []ooo.Config{ooo.FourWide, ooo.FourWidePlus, ooo.EightWidePlus, ooo.Dataflow} {
+		setPhase("model " + cfg.Name)
 		mb, err := benchModel(cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "simbench:", err)
@@ -490,6 +599,7 @@ func main() {
 		res.Models = append(res.Models, mb)
 	}
 	for _, cfg := range []ooo.Config{ooo.FourWide, ooo.EightWidePlus} {
+		setPhase("approx-modes " + cfg.Name)
 		var serial modelBench
 		for _, m := range res.Models {
 			if m.Model == cfg.Name {
@@ -522,6 +632,7 @@ func main() {
 		res.TraceCache.Hits, res.TraceCache.Misses, res.TraceCache.Records,
 		res.TraceCache.Replays, res.TraceCache.LiveFallbacks)
 	if !*noStore {
+		setPhase("store")
 		sb, err := benchStore()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "simbench:", err)
@@ -534,12 +645,15 @@ func main() {
 	if !*skipSweep {
 		res.SweepCells = len(experiments.AllCells())
 		res.SweepWorkers = runtime.GOMAXPROCS(0)
+		setPhase("sweep serial")
 		res.SweepSerialSeconds = timedSweep(1)
+		setPhase("sweep parallel")
 		res.SweepParallelSeconds = timedSweep(res.SweepWorkers)
 		experiments.ResetCache()
 		fmt.Fprintf(os.Stderr, "sweep %d cells: serial %.1fs, %d workers %.1fs\n",
 			res.SweepCells, res.SweepSerialSeconds, res.SweepWorkers, res.SweepParallelSeconds)
 	}
+	setPhase("finalize")
 	if *ledgerDir != "" {
 		l, err := metrics.OpenLedger(*ledgerDir)
 		if err != nil {
@@ -558,6 +672,8 @@ func main() {
 			rec.Models = append(rec.Models, metrics.LedgerModel{
 				Model: m.Model, SimMIPS: m.SimMIPS,
 				AllocsPerRun: m.AllocsPerRun, BytesPerRun: m.BytesPerRun,
+				Cycles: m.Cycles, Instructions: m.Instructions,
+				IPC: m.IPC, StallShares: m.StallShares,
 			})
 		}
 		// The approximate modes ride the same ledger under derived model

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"testing"
+
+	"cryptoarch/internal/isa"
+)
+
+// TestParseSpec pins the cell-spec grammar: cipher/variant with the
+// default model, an explicit case-insensitive model, and the rejection
+// shapes (wrong arity, unknown variant/model, empty cipher).
+func TestParseSpec(t *testing.T) {
+	s, err := parseSpec("blowfish/rot", "4W")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cipher != "blowfish" || s.Feat != isa.FeatRot || s.Cfg.Name != "4W" {
+		t.Fatalf("blowfish/rot = %+v", s)
+	}
+
+	s, err = parseSpec("rijndael/opt/8w+", "4W")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cfg.Name != "8W+" {
+		t.Fatalf("model fold: got %q, want 8W+", s.Cfg.Name)
+	}
+	if s.Label() != "rijndael/opt/8W+" {
+		t.Fatalf("label %q", s.Label())
+	}
+
+	for _, bad := range []string{"blowfish", "a/b/c/d", "blowfish/mystery", "blowfish/rot/9W", "/rot/4W"} {
+		if _, err := parseSpec(bad, "4W"); err == nil {
+			t.Errorf("parseSpec(%q) accepted a malformed spec", bad)
+		}
+	}
+}

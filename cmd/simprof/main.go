@@ -16,7 +16,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"cryptoarch/internal/experiments"
 	"cryptoarch/internal/harness"
@@ -24,21 +23,6 @@ import (
 	"cryptoarch/internal/ooo"
 	"cryptoarch/internal/profview"
 )
-
-// modelByName resolves a model name case-insensitively: "4w+" works like
-// "4W+", "df+issue" like "DF+Issue".
-func modelByName(name string) (ooo.Config, error) {
-	if cfg, err := ooo.ModelByName(name); err == nil {
-		return cfg, nil
-	}
-	if cfg, err := ooo.ModelByName(strings.ToUpper(name)); err == nil {
-		return cfg, nil
-	}
-	if rest, ok := strings.CutPrefix(strings.ToUpper(name), "DF+"); ok && rest != "" {
-		return ooo.ModelByName("DF+" + strings.ToUpper(rest[:1]) + strings.ToLower(rest[1:]))
-	}
-	return ooo.ModelByName(name) // return the original error
-}
 
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "simprof:", err)
@@ -72,7 +56,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	cfg, err := modelByName(*model)
+	cfg, err := ooo.ModelByNameFold(*model)
 	if err != nil {
 		fail(err)
 	}

@@ -1,0 +1,387 @@
+// Package diff implements differential cycle accounting: it takes two
+// timing runs and attributes the cycle delta between them exactly — per
+// stall cause and, when both runs carry per-PC profiles of the same
+// program, per static instruction. The package inherits its conservation
+// law from the engine's slots == cycles × width invariant: each side's
+// commit-slot breakdown sums to its own slot budget, so the per-cause
+// slot deltas sum exactly to nextSlots − baseSlots (width × Δcycles when
+// the two machines share a width). A diff is therefore provably complete
+// — every lost or gained cycle is charged to a cause — never a heuristic
+// decomposition. This is the measurement discipline behind the paper's
+// Figures 4/5/10, which argue entirely in base-vs-feature deltas and the
+// bottleneck shifts that explain them.
+package diff
+
+import (
+	"fmt"
+	"sort"
+
+	"cryptoarch/internal/ooo"
+)
+
+// SchemaVersion stamps the JSON report and saved-run formats; bump on
+// field renames or meaning changes.
+const SchemaVersion = 1
+
+// Run is one side of a differential comparison: the statistics of a
+// single timing run, optionally with its per-PC profile, plus the
+// identity the renderers display.
+type Run struct {
+	// Label names the run in reports, e.g. "blowfish/rot/4W".
+	Label string
+	// Stats is the run's commit-slot accounting (required).
+	Stats *ooo.Stats
+	// Profile is the run's per-PC slot attribution (optional; enables
+	// per-instruction deltas when both sides profile the same program).
+	Profile *ooo.Profile
+	// ProgramDigest identifies the static program the profile indexes.
+	// Two sides align per PC only when both digests are present and
+	// equal: equal code length alone does not prove the same program.
+	ProgramDigest string
+}
+
+// width resolves the run's commit width. When the Stats carry a
+// resolvable model name the configured IssueWidth is used and checked
+// against the slot accounting — that check is the conservation law's
+// real teeth; otherwise the width is derived from the accounting itself
+// (exact-division enforced by Stats.Width).
+func (r *Run) width() (uint64, error) {
+	derived, err := r.Stats.Width()
+	if err != nil {
+		return 0, fmt.Errorf("diff: %s: %w", r.Label, err)
+	}
+	if cfg, err := ooo.ModelByName(r.Stats.Config); err == nil && cfg.IssueWidth > 0 {
+		w := uint64(cfg.IssueWidth)
+		if slots := r.Stats.Stalls.Slots(); slots != w*r.Stats.Cycles {
+			return 0, fmt.Errorf("diff: %s: %d slots != cycles %d × width %d (conservation violated on one side)",
+				r.Label, slots, r.Stats.Cycles, w)
+		}
+		return w, nil
+	}
+	return derived, nil
+}
+
+// validate checks one side's internal accounting before any delta is
+// formed: the slot invariant, and — when a profile rides along — that
+// the per-PC buckets sum to the run-level breakdown cause by cause.
+func (r *Run) validate() error {
+	if r.Stats == nil {
+		return fmt.Errorf("diff: %s: run has no stats", r.Label)
+	}
+	if _, err := r.width(); err != nil {
+		return err
+	}
+	if r.Profile != nil {
+		if got, want := r.Profile.Total(), r.Stats.Stalls; got != want {
+			return fmt.Errorf("diff: %s: per-PC buckets do not sum to the run breakdown\nprofile %v\nrun     %v",
+				r.Label, got, want)
+		}
+	}
+	return nil
+}
+
+// Delta is the run-level differential accounting between two runs:
+// signed per-cause slot deltas plus the headline counters both reports
+// and gates read.
+type Delta struct {
+	BaseLabel, NextLabel   string
+	BaseCycles, NextCycles uint64
+	BaseInsts, NextInsts   uint64
+	BaseWidth, NextWidth   uint64
+	// Causes is the signed per-cause slot delta, next − base.
+	Causes [ooo.NumStallCauses]int64
+}
+
+// DeltaCycles is the signed cycle difference, next − base.
+func (d *Delta) DeltaCycles() int64 { return int64(d.NextCycles) - int64(d.BaseCycles) }
+
+// BaseSlots and NextSlots are each side's whole slot budget.
+func (d *Delta) BaseSlots() uint64 { return d.BaseWidth * d.BaseCycles }
+func (d *Delta) NextSlots() uint64 { return d.NextWidth * d.NextCycles }
+
+// SlotDelta is the signed slot-budget difference the per-cause deltas
+// must account for: width × Δcycles when both sides share a width.
+func (d *Delta) SlotDelta() int64 { return int64(d.NextSlots()) - int64(d.BaseSlots()) }
+
+// Attributed is the sum of the signed per-cause deltas. Conservation
+// demands Attributed == SlotDelta exactly.
+func (d *Delta) Attributed() int64 {
+	var t int64
+	for _, v := range d.Causes {
+		t += v
+	}
+	return t
+}
+
+// Unattributed is the conservation residue (0 on every valid diff).
+func (d *Delta) Unattributed() int64 { return d.SlotDelta() - d.Attributed() }
+
+// Speedup is base cycles over next cycles — >1 means next is faster.
+// A zero-cycle next side rates 0, matching the repo's rate() guard.
+func (d *Delta) Speedup() float64 {
+	if d.NextCycles == 0 {
+		return 0
+	}
+	return float64(d.BaseCycles) / float64(d.NextCycles)
+}
+
+// BaseIPC and NextIPC are the per-side retired-IPC figures (0 on a
+// zero-cycle side).
+func (d *Delta) BaseIPC() float64 { return ipc(d.BaseInsts, d.BaseCycles) }
+func (d *Delta) NextIPC() float64 { return ipc(d.NextInsts, d.NextCycles) }
+
+func ipc(insts, cycles uint64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	return float64(insts) / float64(cycles)
+}
+
+// Magnitude is the total absolute per-cause movement Σ|Δc|. It exceeds
+// |SlotDelta| when causes shifted against each other — the bottleneck-
+// shift signal even between runs of equal cost.
+func (d *Delta) Magnitude() uint64 {
+	var t uint64
+	for _, v := range d.Causes {
+		if v < 0 {
+			t += uint64(-v)
+		} else {
+			t += uint64(v)
+		}
+	}
+	return t
+}
+
+// Share is a cause's signed fraction of the total movement (0 when
+// nothing moved — the self-diff case).
+func (d *Delta) Share(c ooo.StallCause) float64 {
+	m := d.Magnitude()
+	if m == 0 {
+		return 0
+	}
+	return float64(d.Causes[c]) / float64(m)
+}
+
+// TopShift returns the dominant loser (most negative delta) and gainer
+// (most positive delta) causes. A side is meaningful only when its
+// matching flag is true: a diff can move slots in one direction only.
+func (d *Delta) TopShift() (loser, gainer ooo.StallCause, hasLoser, hasGainer bool) {
+	var lo, hi int64
+	for c := ooo.StallCause(0); c < ooo.NumStallCauses; c++ {
+		if d.Causes[c] < lo {
+			lo, loser = d.Causes[c], c
+		}
+		if d.Causes[c] > hi {
+			hi, gainer = d.Causes[c], c
+		}
+	}
+	return loser, gainer, lo != 0, hi != 0
+}
+
+// ShiftLabel renders the dominant bottleneck shift compactly:
+// "loser→gainer", one-sided "loser→" / "→gainer", or "-" when the slot
+// accounting is identical.
+func (d *Delta) ShiftLabel() string {
+	loser, gainer, hasLoser, hasGainer := d.TopShift()
+	switch {
+	case hasLoser && hasGainer:
+		return loser.String() + "→" + gainer.String()
+	case hasLoser:
+		return loser.String() + "→"
+	case hasGainer:
+		return "→" + gainer.String()
+	}
+	return "-"
+}
+
+// PCDelta is one static instruction's contribution to the slot delta.
+type PCDelta struct {
+	PC                       int
+	Causes                   [ooo.NumStallCauses]int64
+	BaseRetired, NextRetired uint64
+}
+
+// Total is the PC's signed slot delta across all causes.
+func (p *PCDelta) Total() int64 {
+	var t int64
+	for _, v := range p.Causes {
+		t += v
+	}
+	return t
+}
+
+// TopCause is the cause with the largest absolute delta at this PC
+// (StallCommit and 0 when nothing moved here).
+func (p *PCDelta) TopCause() (ooo.StallCause, int64) {
+	best, bestAbs := ooo.StallCommit, int64(0)
+	for c := ooo.StallCause(0); c < ooo.NumStallCauses; c++ {
+		a := p.Causes[c]
+		if a < 0 {
+			a = -a
+		}
+		if a > bestAbs {
+			best, bestAbs = c, a
+		}
+	}
+	if bestAbs == 0 {
+		return ooo.StallCommit, 0
+	}
+	return best, p.Causes[best]
+}
+
+// ProfileDelta is the per-PC attribution of a slot delta between two
+// profiled runs of the same program. When one side's profile is shorter
+// (a truncated saved profile), the missing PCs are treated as zero on
+// that side, so conservation still holds exactly over the union.
+type ProfileDelta struct {
+	PCs []PCDelta
+}
+
+// Total is the summed per-PC slot delta; conservation demands it equal
+// the run-level SlotDelta exactly.
+func (pd *ProfileDelta) Total() int64 {
+	var t int64
+	for i := range pd.PCs {
+		t += pd.PCs[i].Total()
+	}
+	return t
+}
+
+// Movers returns up to n PC indices whose slots grew (gainers) and up to
+// n whose slots shrank (losers), each ranked by absolute delta with ties
+// broken by ascending PC.
+func (pd *ProfileDelta) Movers(n int) (gainers, losers []int) {
+	for i := range pd.PCs {
+		switch t := pd.PCs[i].Total(); {
+		case t > 0:
+			gainers = append(gainers, i)
+		case t < 0:
+			losers = append(losers, i)
+		}
+	}
+	rank := func(idx []int, sign int64) {
+		sort.Slice(idx, func(a, b int) bool {
+			wa, wb := sign*pd.PCs[idx[a]].Total(), sign*pd.PCs[idx[b]].Total()
+			if wa != wb {
+				return wa > wb
+			}
+			return idx[a] < idx[b]
+		})
+	}
+	rank(gainers, 1)
+	rank(losers, -1)
+	if n > 0 && len(gainers) > n {
+		gainers = gainers[:n]
+	}
+	if n > 0 && len(losers) > n {
+		losers = losers[:n]
+	}
+	return gainers, losers
+}
+
+// RunDiff bundles one differential comparison: both sides, the run-level
+// delta, and — when both sides profile the same program — the per-PC
+// attribution.
+type RunDiff struct {
+	Base, Next *Run
+	Delta      *Delta
+	// PCs is nil when either profile is missing or the programs differ
+	// (per-PC subtraction across different programs would be a lie; the
+	// renderers fall back to per-side views).
+	PCs *ProfileDelta
+}
+
+// Aligned reports whether the diff carries a per-PC attribution.
+func (rd *RunDiff) Aligned() bool { return rd.PCs != nil }
+
+// New computes the differential accounting between base and next. Both
+// sides are validated (slot invariant, profile-sum invariant) before any
+// delta is formed, and the result is checked against the conservation
+// law; an inconsistent input is an error, never a partial diff.
+func New(base, next *Run) (*RunDiff, error) {
+	if err := base.validate(); err != nil {
+		return nil, err
+	}
+	if err := next.validate(); err != nil {
+		return nil, err
+	}
+	bw, _ := base.width()
+	nw, _ := next.width()
+	d := &Delta{
+		BaseLabel:  base.Label,
+		NextLabel:  next.Label,
+		BaseCycles: base.Stats.Cycles,
+		NextCycles: next.Stats.Cycles,
+		BaseInsts:  base.Stats.Instructions,
+		NextInsts:  next.Stats.Instructions,
+		BaseWidth:  bw,
+		NextWidth:  nw,
+		Causes:     next.Stats.Stalls.DeltaSigned(&base.Stats.Stalls),
+	}
+	rd := &RunDiff{Base: base, Next: next, Delta: d}
+	if base.Profile != nil && next.Profile != nil &&
+		base.ProgramDigest != "" && base.ProgramDigest == next.ProgramDigest {
+		rd.PCs = profileDelta(base.Profile, next.Profile)
+	}
+	if err := rd.Check(); err != nil {
+		return nil, err
+	}
+	return rd, nil
+}
+
+// profileDelta subtracts two per-PC profiles, padding the shorter side
+// with zeros so every PC of either side is accounted.
+func profileDelta(base, next *ooo.Profile) *ProfileDelta {
+	n := len(base.PCs)
+	if len(next.PCs) > n {
+		n = len(next.PCs)
+	}
+	pd := &ProfileDelta{PCs: make([]PCDelta, n)}
+	var zero ooo.PCProfile
+	for pc := 0; pc < n; pc++ {
+		b, x := &zero, &zero
+		if pc < len(base.PCs) {
+			b = &base.PCs[pc]
+		}
+		if pc < len(next.PCs) {
+			x = &next.PCs[pc]
+		}
+		pd.PCs[pc] = PCDelta{
+			PC:          pc,
+			Causes:      x.Slots.DeltaSigned(&b.Slots),
+			BaseRetired: b.Retired,
+			NextRetired: x.Retired,
+		}
+	}
+	return pd
+}
+
+// Check verifies the conservation law on a formed diff: the signed
+// per-cause deltas sum exactly to the slot-budget difference (width ×
+// Δcycles when the widths agree), and the per-PC attribution — when
+// present — sums to the same total, cause by cause. New runs it before
+// returning; gates re-run it before trusting a report.
+func (rd *RunDiff) Check() error {
+	d := rd.Delta
+	if got, want := d.Attributed(), d.SlotDelta(); got != want {
+		return fmt.Errorf("diff: %s → %s: per-cause deltas sum to %d slots, slot budget moved %d (unattributed %d)",
+			d.BaseLabel, d.NextLabel, got, want, want-got)
+	}
+	if rd.PCs != nil {
+		var perCause [ooo.NumStallCauses]int64
+		for i := range rd.PCs.PCs {
+			for c, v := range rd.PCs.PCs[i].Causes {
+				perCause[c] += v
+			}
+		}
+		if perCause != d.Causes {
+			return fmt.Errorf("diff: %s → %s: per-PC deltas do not sum to the run-level per-cause deltas",
+				d.BaseLabel, d.NextLabel)
+		}
+		if got, want := rd.PCs.Total(), d.SlotDelta(); got != want {
+			return fmt.Errorf("diff: %s → %s: per-PC deltas sum to %d slots, slot budget moved %d",
+				d.BaseLabel, d.NextLabel, got, want)
+		}
+	}
+	return nil
+}

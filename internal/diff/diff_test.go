@@ -1,0 +1,206 @@
+package diff_test
+
+// Unit guards for the differential layer's degenerate inputs: zero-cycle
+// sides, self-diffs, truncated profiles, machines with no slot budget,
+// and the inconsistent-accounting shapes diff.New must refuse. Each of
+// these is a divide-by-zero or false-attribution bug waiting to happen;
+// the tests pin the graceful behavior.
+
+import (
+	"strings"
+	"testing"
+
+	"cryptoarch/internal/diff"
+	"cryptoarch/internal/ooo"
+)
+
+// synth builds a synthetic run whose Config does not resolve to a named
+// model, so the width comes from the slot accounting itself.
+func synth(label string, cycles, insts uint64, causes map[ooo.StallCause]uint64) *diff.Run {
+	st := &ooo.Stats{Config: "synthetic", Cycles: cycles, Instructions: insts}
+	for c, v := range causes {
+		st.Stalls[c] = v
+	}
+	return &diff.Run{Label: label, Stats: st}
+}
+
+// TestDiffZeroCycles: two empty runs diff to an all-zero delta with no
+// division blowing up anywhere on the report path.
+func TestDiffZeroCycles(t *testing.T) {
+	rd, err := diff.New(synth("a", 0, 0, nil), synth("b", 0, 0, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := rd.Delta
+	if d.Speedup() != 0 {
+		t.Fatalf("zero-cycle speedup %v, want 0 (guarded)", d.Speedup())
+	}
+	if d.BaseIPC() != 0 || d.NextIPC() != 0 {
+		t.Fatalf("zero-cycle ipc %v/%v, want 0/0", d.BaseIPC(), d.NextIPC())
+	}
+	if d.SlotDelta() != 0 || d.Attributed() != 0 || d.Unattributed() != 0 {
+		t.Fatalf("zero-cycle slots moved: %+v", d)
+	}
+	for c := ooo.StallCause(0); c < ooo.NumStallCauses; c++ {
+		if d.Share(c) != 0 {
+			t.Fatalf("share of %s = %v on an empty diff", c, d.Share(c))
+		}
+	}
+	if d.ShiftLabel() != "-" {
+		t.Fatalf("shift label %q on an empty diff, want -", d.ShiftLabel())
+	}
+	var sb strings.Builder
+	diff.WriteText(&sb, rd, 5, nil) // must not panic or divide by zero
+	if sb.Len() == 0 {
+		t.Fatal("empty report")
+	}
+}
+
+// TestDiffSelf: identical sides attribute exactly nothing.
+func TestDiffSelf(t *testing.T) {
+	mk := func(label string) *diff.Run {
+		return synth(label, 10, 25, map[ooo.StallCause]uint64{
+			ooo.StallCommit: 25, ooo.StallWindow: 10, ooo.StallIssue: 5,
+		})
+	}
+	rd, err := diff.New(mk("a"), mk("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := rd.Delta
+	if d.Speedup() != 1 {
+		t.Fatalf("self-diff speedup %v, want 1", d.Speedup())
+	}
+	if d.BaseWidth != 4 || d.NextWidth != 4 {
+		t.Fatalf("derived widths %d/%d, want 4/4 (40 slots / 10 cycles)", d.BaseWidth, d.NextWidth)
+	}
+	if d.Attributed() != 0 || d.Magnitude() != 0 || d.ShiftLabel() != "-" {
+		t.Fatalf("self-diff moved: attributed=%d magnitude=%d shift=%q",
+			d.Attributed(), d.Magnitude(), d.ShiftLabel())
+	}
+}
+
+// TestDiffProfilePadding: a next-side profile shorter than the base
+// (e.g. a truncated saved run) is padded with zeros, so the missing PCs
+// are attributed as pure losses and conservation still holds over the
+// union of PCs.
+func TestDiffProfilePadding(t *testing.T) {
+	base := synth("base", 3, 6, map[ooo.StallCause]uint64{
+		ooo.StallCommit: 2, ooo.StallWindow: 2, ooo.StallIssue: 2,
+	})
+	base.ProgramDigest = "prog-x"
+	base.Profile = &ooo.Profile{Config: "synthetic", PCs: make([]ooo.PCProfile, 3)}
+	base.Profile.PCs[0].Slots[ooo.StallCommit] = 2
+	base.Profile.PCs[1].Slots[ooo.StallWindow] = 2
+	base.Profile.PCs[2].Slots[ooo.StallIssue] = 2
+
+	next := synth("next", 2, 4, map[ooo.StallCause]uint64{
+		ooo.StallCommit: 2, ooo.StallWindow: 2,
+	})
+	next.ProgramDigest = "prog-x"
+	next.Profile = &ooo.Profile{Config: "synthetic", PCs: make([]ooo.PCProfile, 2)}
+	next.Profile.PCs[0].Slots[ooo.StallCommit] = 2
+	next.Profile.PCs[1].Slots[ooo.StallWindow] = 2
+
+	rd, err := diff.New(base, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rd.Aligned() {
+		t.Fatal("equal digests must align")
+	}
+	if got := len(rd.PCs.PCs); got != 3 {
+		t.Fatalf("aligned over %d PCs, want 3 (union)", got)
+	}
+	// The PC present only in base reads as a pure loss of its slots.
+	if got := rd.PCs.PCs[2].Total(); got != -2 {
+		t.Fatalf("padded PC delta %d, want -2", got)
+	}
+	if rd.Delta.Attributed() != rd.Delta.SlotDelta() || rd.Delta.SlotDelta() != -2 {
+		t.Fatalf("padding broke conservation: attributed %d of %d",
+			rd.Delta.Attributed(), rd.Delta.SlotDelta())
+	}
+}
+
+// TestDiffNoSlotBudget: sides with no slot budget (infinite-width
+// machines) diff on cycles and IPC only — zero widths, zero attribution,
+// no fabricated shares.
+func TestDiffNoSlotBudget(t *testing.T) {
+	rd, err := diff.New(synth("df-a", 100, 400, nil), synth("df-b", 80, 400, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := rd.Delta
+	if d.BaseWidth != 0 || d.NextWidth != 0 {
+		t.Fatalf("no-slot widths %d/%d, want 0/0", d.BaseWidth, d.NextWidth)
+	}
+	if d.DeltaCycles() != -20 || d.Attributed() != 0 {
+		t.Fatalf("no-slot delta: Δcycles=%d attributed=%d", d.DeltaCycles(), d.Attributed())
+	}
+	if s := d.Speedup(); s != 1.25 {
+		t.Fatalf("speedup %v, want 1.25", s)
+	}
+	var sb strings.Builder
+	diff.WriteText(&sb, rd, 5, nil)
+	if !strings.Contains(sb.String(), "no slot budget") {
+		t.Fatalf("report does not say the attribution degraded:\n%s", sb.String())
+	}
+}
+
+// TestDiffRefusesInconsistentSide: slot accounting that is not a whole
+// multiple of the cycle count cannot yield a width, so the diff refuses.
+func TestDiffRefusesInconsistentSide(t *testing.T) {
+	bad := synth("bad", 2, 5, map[ooo.StallCause]uint64{ooo.StallCommit: 5})
+	if _, err := diff.New(bad, synth("ok", 0, 0, nil)); err == nil {
+		t.Fatal("accepted 5 slots over 2 cycles")
+	}
+}
+
+// TestDiffRefusesNamedWidthMismatch: when the run names a real model,
+// the configured width is the law — accounting that disagrees with
+// width × cycles is a conservation violation on that side alone.
+func TestDiffRefusesNamedWidthMismatch(t *testing.T) {
+	bad := synth("bad", 10, 20, map[ooo.StallCause]uint64{ooo.StallCommit: 20})
+	bad.Stats.Config = "4W" // 4-wide: 10 cycles must charge 40 slots, not 20
+	if _, err := diff.New(bad, bad); err == nil {
+		t.Fatal("accepted a 4W run whose slots != 4 × cycles")
+	}
+}
+
+// TestDiffRefusesProfileMismatch: a profile whose buckets do not sum to
+// the run-level breakdown is corrupt; the diff must refuse rather than
+// attribute against it.
+func TestDiffRefusesProfileMismatch(t *testing.T) {
+	r := synth("corrupt", 1, 2, map[ooo.StallCause]uint64{ooo.StallCommit: 2})
+	r.Profile = &ooo.Profile{Config: "synthetic", PCs: make([]ooo.PCProfile, 1)}
+	r.Profile.PCs[0].Slots[ooo.StallCommit] = 1 // profile says 1, stats say 2
+	if _, err := diff.New(r, r); err == nil {
+		t.Fatal("accepted a profile that does not sum to the run breakdown")
+	}
+}
+
+// TestDiffRefusesMissingStats: a run without stats has nothing to diff.
+func TestDiffRefusesMissingStats(t *testing.T) {
+	if _, err := diff.New(&diff.Run{Label: "empty"}, synth("ok", 0, 0, nil)); err == nil {
+		t.Fatal("accepted a side with no stats")
+	}
+}
+
+// TestDiffNoAlignmentWithoutDigests: equal profile lengths alone must
+// not align per-PC attribution — only matching program digests prove the
+// two sides index the same code.
+func TestDiffNoAlignmentWithoutDigests(t *testing.T) {
+	mk := func(label string) *diff.Run {
+		r := synth(label, 1, 1, map[ooo.StallCause]uint64{ooo.StallCommit: 1})
+		r.Profile = &ooo.Profile{Config: "synthetic", PCs: make([]ooo.PCProfile, 1)}
+		r.Profile.PCs[0].Slots[ooo.StallCommit] = 1
+		return r
+	}
+	rd, err := diff.New(mk("a"), mk("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Aligned() {
+		t.Fatal("aligned two profiles with no program digests")
+	}
+}

@@ -1,0 +1,245 @@
+package diff
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"cryptoarch/internal/ooo"
+)
+
+// CauseRow is one stall cause's line in the JSON report. Share is the
+// signed fraction of the total per-cause movement (Σ|Δ|), so a pure
+// bottleneck shift at equal cost still reads as ±shares.
+type CauseRow struct {
+	Cause string  `json:"cause"`
+	Base  uint64  `json:"base_slots"`
+	Next  uint64  `json:"next_slots"`
+	Delta int64   `json:"delta_slots"`
+	Share float64 `json:"share"`
+}
+
+// MoverRow is one per-PC line in the JSON report: an instruction that
+// gained or lost slots between the runs, and under which cause.
+type MoverRow struct {
+	PC          int    `json:"pc"`
+	Disasm      string `json:"disasm,omitempty"`
+	Delta       int64  `json:"delta_slots"`
+	TopCause    string `json:"top_cause"`
+	BaseRetired uint64 `json:"base_retired"`
+	NextRetired uint64 `json:"next_retired"`
+}
+
+// Report is the machine-readable rendering of one differential
+// comparison — the artifact the CI smoke gate checks for exact
+// conservation.
+type Report struct {
+	SchemaVersion int        `json:"schema_version"`
+	Base          string     `json:"base"`
+	Next          string     `json:"next"`
+	BaseCycles    uint64     `json:"base_cycles"`
+	NextCycles    uint64     `json:"next_cycles"`
+	DeltaCycles   int64      `json:"delta_cycles"`
+	Speedup       float64    `json:"speedup"`
+	BaseInsts     uint64     `json:"base_instructions"`
+	NextInsts     uint64     `json:"next_instructions"`
+	BaseIPC       float64    `json:"base_ipc"`
+	NextIPC       float64    `json:"next_ipc"`
+	BaseWidth     uint64     `json:"base_width"`
+	NextWidth     uint64     `json:"next_width"`
+	BaseSlots     uint64     `json:"base_slots"`
+	NextSlots     uint64     `json:"next_slots"`
+	SlotDelta     int64      `json:"slot_delta"`
+	Attributed    int64      `json:"attributed_slots"`
+	Unattributed  int64      `json:"unattributed_slots"`
+	Conserved     bool       `json:"conserved"`
+	Aligned       bool       `json:"aligned"`
+	Causes        []CauseRow `json:"causes"`
+	Gainers       []MoverRow `json:"gainers,omitempty"`
+	Losers        []MoverRow `json:"losers,omitempty"`
+}
+
+// DisasmFunc renders one static instruction for mover rows; nil leaves
+// the disassembly column empty (saved runs carry no program).
+type DisasmFunc func(pc int) string
+
+// BuildReport assembles the JSON report with up to topN movers per
+// direction.
+func BuildReport(rd *RunDiff, topN int, disasm DisasmFunc) *Report {
+	d := rd.Delta
+	r := &Report{
+		SchemaVersion: SchemaVersion,
+		Base:          d.BaseLabel,
+		Next:          d.NextLabel,
+		BaseCycles:    d.BaseCycles,
+		NextCycles:    d.NextCycles,
+		DeltaCycles:   d.DeltaCycles(),
+		Speedup:       d.Speedup(),
+		BaseInsts:     d.BaseInsts,
+		NextInsts:     d.NextInsts,
+		BaseIPC:       d.BaseIPC(),
+		NextIPC:       d.NextIPC(),
+		BaseWidth:     d.BaseWidth,
+		NextWidth:     d.NextWidth,
+		BaseSlots:     d.BaseSlots(),
+		NextSlots:     d.NextSlots(),
+		SlotDelta:     d.SlotDelta(),
+		Attributed:    d.Attributed(),
+		Unattributed:  d.Unattributed(),
+		Conserved:     rd.Check() == nil,
+		Aligned:       rd.Aligned(),
+		Causes:        []CauseRow{},
+	}
+	base, next := &rd.Base.Stats.Stalls, &rd.Next.Stats.Stalls
+	for c := ooo.StallCause(0); c < ooo.NumStallCauses; c++ {
+		if base[c] == 0 && next[c] == 0 {
+			continue
+		}
+		r.Causes = append(r.Causes, CauseRow{
+			Cause: c.String(),
+			Base:  base[c],
+			Next:  next[c],
+			Delta: d.Causes[c],
+			Share: d.Share(c),
+		})
+	}
+	if rd.PCs != nil {
+		mover := func(pc int) MoverRow {
+			p := &rd.PCs.PCs[pc]
+			cause, _ := p.TopCause()
+			m := MoverRow{
+				PC:          pc,
+				Delta:       p.Total(),
+				TopCause:    cause.String(),
+				BaseRetired: p.BaseRetired,
+				NextRetired: p.NextRetired,
+			}
+			if disasm != nil {
+				m.Disasm = disasm(pc)
+			}
+			return m
+		}
+		gainers, losers := rd.PCs.Movers(topN)
+		for _, pc := range gainers {
+			r.Gainers = append(r.Gainers, mover(pc))
+		}
+		for _, pc := range losers {
+			r.Losers = append(r.Losers, mover(pc))
+		}
+	}
+	return r
+}
+
+// WriteText renders the differential report for humans: headline
+// counters, the per-cause delta table, and — when the sides align — the
+// top per-PC movers.
+func WriteText(w io.Writer, rd *RunDiff, topN int, disasm DisasmFunc) {
+	d := rd.Delta
+	fmt.Fprintf(w, "diff: %s  →  %s\n", d.BaseLabel, d.NextLabel)
+	fmt.Fprintf(w, "cycles:       %12d → %-12d  Δ %+d  (speedup %.3fx)\n",
+		d.BaseCycles, d.NextCycles, d.DeltaCycles(), d.Speedup())
+	fmt.Fprintf(w, "instructions: %12d → %-12d  ipc %.3f → %.3f\n",
+		d.BaseInsts, d.NextInsts, d.BaseIPC(), d.NextIPC())
+	if d.BaseSlots() == 0 && d.NextSlots() == 0 {
+		fmt.Fprintf(w, "no slot budget on either side (infinite issue width): cycle and IPC deltas only\n")
+		return
+	}
+	fmt.Fprintf(w, "slot budget:  %12d → %-12d  Δ %+d  (width %s)\n",
+		d.BaseSlots(), d.NextSlots(), d.SlotDelta(), widthLabel(d))
+	fmt.Fprintf(w, "conservation: %+d of %+d slots attributed (residue %d)\n",
+		d.Attributed(), d.SlotDelta(), d.Unattributed())
+
+	fmt.Fprintf(w, "\n%-10s %14s %14s %14s %8s\n", "cause", "base", "next", "Δslots", "share")
+	for c := ooo.StallCause(0); c < ooo.NumStallCauses; c++ {
+		base, next := rd.Base.Stats.Stalls[c], rd.Next.Stats.Stalls[c]
+		if base == 0 && next == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%-10s %14d %14d %+14d %+7.1f%%\n",
+			c, base, next, d.Causes[c], 100*d.Share(c))
+	}
+	if label := d.ShiftLabel(); label != "-" {
+		fmt.Fprintf(w, "top shift: %s\n", label)
+	} else {
+		fmt.Fprintf(w, "no per-cause movement (identical slot accounting)\n")
+	}
+
+	if rd.PCs == nil {
+		if rd.Base.Profile != nil && rd.Next.Profile != nil {
+			fmt.Fprintf(w, "\nper-PC attribution unavailable: the two sides run different programs\n")
+		}
+		return
+	}
+	gainers, losers := rd.PCs.Movers(topN)
+	writeMovers := func(title string, pcs []int) {
+		if len(pcs) == 0 {
+			return
+		}
+		fmt.Fprintf(w, "\n%s:\n%6s %12s %10s %10s  %-10s %s\n",
+			title, "pc", "Δslots", "ret(base)", "ret(next)", "top cause", "instruction")
+		for _, pc := range pcs {
+			p := &rd.PCs.PCs[pc]
+			cause, _ := p.TopCause()
+			ins := ""
+			if disasm != nil {
+				ins = disasm(pc)
+			}
+			fmt.Fprintf(w, "%6d %+12d %10d %10d  %-10s %s\n",
+				pc, p.Total(), p.BaseRetired, p.NextRetired, cause, ins)
+		}
+	}
+	writeMovers(fmt.Sprintf("top %d slot gainers (next charged more)", len(gainers)), gainers)
+	writeMovers(fmt.Sprintf("top %d slot losers (next charged less)", len(losers)), losers)
+}
+
+// widthLabel compresses the width pair for the text header.
+func widthLabel(d *Delta) string {
+	if d.BaseWidth == d.NextWidth {
+		return fmt.Sprintf("%d", d.BaseWidth)
+	}
+	return fmt.Sprintf("%d → %d", d.BaseWidth, d.NextWidth)
+}
+
+// RunJSON is the saved-run interchange format: everything simdiff needs
+// to re-attribute a run later without re-simulating it.
+type RunJSON struct {
+	SchemaVersion int          `json:"schema_version"`
+	Label         string       `json:"label"`
+	ProgramDigest string       `json:"program_digest,omitempty"`
+	Stats         *ooo.Stats   `json:"stats"`
+	Profile       *ooo.Profile `json:"profile,omitempty"`
+}
+
+// EncodeRun writes a run as indented JSON.
+func EncodeRun(w io.Writer, r *Run) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(RunJSON{
+		SchemaVersion: SchemaVersion,
+		Label:         r.Label,
+		ProgramDigest: r.ProgramDigest,
+		Stats:         r.Stats,
+		Profile:       r.Profile,
+	})
+}
+
+// DecodeRun reads a saved run back, validating the pieces a diff needs.
+func DecodeRun(rdr io.Reader) (*Run, error) {
+	var rj RunJSON
+	if err := json.NewDecoder(rdr).Decode(&rj); err != nil {
+		return nil, fmt.Errorf("diff: decode run: %w", err)
+	}
+	if rj.SchemaVersion < 1 || rj.SchemaVersion > SchemaVersion {
+		return nil, fmt.Errorf("diff: saved run has schema %d, this binary understands 1..%d",
+			rj.SchemaVersion, SchemaVersion)
+	}
+	if rj.Stats == nil {
+		return nil, fmt.Errorf("diff: saved run %q carries no stats", rj.Label)
+	}
+	return &Run{
+		Label:         rj.Label,
+		Stats:         rj.Stats,
+		Profile:       rj.Profile,
+		ProgramDigest: rj.ProgramDigest,
+	}, nil
+}

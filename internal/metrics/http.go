@@ -1,0 +1,78 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+)
+
+// This file is the repo's first (and only) HTTP surface: a read-only
+// observability endpoint the long-running binaries can expose with
+// -metrics-addr. It serves the live telemetry Snapshot and a
+// caller-supplied progress view as JSON. It is deliberately minimal:
+// GET only, no mutation, no configuration, off unless the flag is set —
+// the endpoint observes a run, it never steers one.
+
+// NewHTTPHandler returns a GET-only handler over a registry and an
+// optional progress callback:
+//
+//	/          index of the endpoints, as JSON
+//	/metrics   Registry.Snapshot() of reg
+//	/progress  progress() (404 when no callback was supplied)
+//
+// reg may be nil (Snapshot on a nil registry returns an empty snapshot),
+// and progress is called once per request on the serving goroutine, so
+// callers must hand in something safe for concurrent use.
+func NewHTTPHandler(reg *Registry, progress func() any) http.Handler {
+	mux := http.NewServeMux()
+	serve := func(path string, body func() any) {
+		mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodGet {
+				w.Header().Set("Allow", http.MethodGet)
+				http.Error(w, "read-only endpoint: GET only", http.StatusMethodNotAllowed)
+				return
+			}
+			// The mux routes every unregistered path to "/"; only the
+			// index itself is the index.
+			if path == "/" && r.URL.Path != "/" {
+				http.NotFound(w, r)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(body()); err != nil {
+				// Headers are gone; all we can do is drop the connection.
+				return
+			}
+		})
+	}
+	endpoints := []string{"/", "/metrics"}
+	if progress != nil {
+		endpoints = append(endpoints, "/progress")
+	}
+	serve("/", func() any {
+		return map[string]any{"endpoints": endpoints, "readonly": true}
+	})
+	serve("/metrics", func() any { return reg.Snapshot() })
+	if progress != nil {
+		serve("/progress", func() any { return progress() })
+	}
+	return mux
+}
+
+// ServeMetrics binds addr (e.g. "127.0.0.1:0"), starts serving the
+// read-only handler in a background goroutine, and returns the bound
+// address — so ":0" callers can print the port that was actually chosen.
+// The listener lives until the process exits; there is deliberately no
+// shutdown plumbing, matching the endpoint's observe-only role.
+func ServeMetrics(addr string, reg *Registry, progress func() any) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("metrics: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: NewHTTPHandler(reg, progress)}
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,139 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestHTTPMetricsSnapshot: /metrics serves the registry's live snapshot
+// as JSON.
+func TestHTTPMetricsSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("runs_total").Add(7)
+	reg.Gauge("workers").Set(3)
+	srv := httptest.NewServer(NewHTTPHandler(reg, nil))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q, want application/json", ct)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range snap.Counters {
+		if c.Name == "runs_total" && c.Value == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("snapshot missing runs_total=7: %+v", snap.Counters)
+	}
+}
+
+// TestHTTPProgress: /progress serves the callback's view; without a
+// callback the route does not exist.
+func TestHTTPProgress(t *testing.T) {
+	type prog struct {
+		Done  int `json:"done"`
+		Total int `json:"total"`
+	}
+	srv := httptest.NewServer(NewHTTPHandler(nil, func() any { return prog{Done: 3, Total: 9} }))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got prog
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got != (prog{Done: 3, Total: 9}) {
+		t.Fatalf("progress = %+v", got)
+	}
+
+	bare := httptest.NewServer(NewHTTPHandler(nil, nil))
+	defer bare.Close()
+	resp2, err := http.Get(bare.URL + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("progress without callback: status %d, want 404", resp2.StatusCode)
+	}
+}
+
+// TestHTTPReadOnly: every mutating method is refused with 405 and an
+// Allow header; unknown paths 404 instead of falling into the index.
+func TestHTTPReadOnly(t *testing.T) {
+	srv := httptest.NewServer(NewHTTPHandler(NewRegistry(), func() any { return 1 }))
+	defer srv.Close()
+
+	for _, method := range []string{http.MethodPost, http.MethodPut, http.MethodDelete} {
+		for _, path := range []string{"/", "/metrics", "/progress"} {
+			req, err := http.NewRequest(method, srv.URL+path, strings.NewReader("x"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusMethodNotAllowed {
+				t.Fatalf("%s %s: status %d, want 405", method, path, resp.StatusCode)
+			}
+			if allow := resp.Header.Get("Allow"); allow != http.MethodGet {
+				t.Fatalf("%s %s: Allow %q, want GET", method, path, allow)
+			}
+		}
+	}
+	resp, err := http.Get(srv.URL + "/no-such-endpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown path: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestServeMetrics: the convenience starter binds, reports the real
+// address (":0" resolved), and serves the index.
+func TestServeMetrics(t *testing.T) {
+	addr, err := ServeMetrics("127.0.0.1:0", NewRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.HasSuffix(addr, ":0") {
+		t.Fatalf("bound address %q still has port 0", addr)
+	}
+	resp, err := http.Get("http://" + addr + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "/metrics") {
+		t.Fatalf("index does not list /metrics: %s", body)
+	}
+}

@@ -4,8 +4,10 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 )
 
@@ -20,20 +22,72 @@ import (
 // the single-snapshot 2x tripwire with a real performance trajectory.
 
 // LedgerSchemaVersion identifies the record format; bump on any change to
-// the LedgerRecord JSON shape so old ledgers stay detectable.
-const LedgerSchemaVersion = 1
+// the LedgerRecord JSON shape so old ledgers stay detectable. Version 2
+// added the simulated-workload fields (cycles, instructions, IPC, per-cause
+// stall shares) to LedgerModel; version-1 lines decode cleanly with those
+// fields absent, so old ledgers keep their history.
+const LedgerSchemaVersion = 2
 
 // LedgerFile is the file name inside the ledger directory.
 const LedgerFile = "ledger.jsonl"
 
 // LedgerModel is one machine model's measurement within a ledger record.
 // Field names match the simbench model JSON so the two stay greppable as
-// one vocabulary.
+// one vocabulary. The v2 fields carry the simulated workload's shape —
+// cycles, instructions, IPC, and each stall cause's share of the commit
+// slots — so a regression in a historical record can be *attributed*
+// (which bottleneck grew) without re-running the old engine.
 type LedgerModel struct {
 	Model        string  `json:"model"`
 	SimMIPS      float64 `json:"simulated_mips"`
 	AllocsPerRun int64   `json:"allocs_per_run"`
 	BytesPerRun  int64   `json:"bytes_per_run"`
+	// v2 fields; zero/absent on records written by older engines.
+	Cycles       uint64             `json:"simulated_cycles,omitempty"`
+	Instructions uint64             `json:"simulated_instructions,omitempty"`
+	IPC          float64            `json:"ipc,omitempty"`
+	StallShares  map[string]float64 `json:"stall_shares,omitempty"`
+}
+
+// ShareDelta is one stall cause's movement between two share maps, in
+// share points (0.05 = the cause gained 5 points of the slot budget).
+type ShareDelta struct {
+	Cause string  `json:"cause"`
+	Base  float64 `json:"base"`
+	Next  float64 `json:"next"`
+	Delta float64 `json:"delta"`
+}
+
+// AttributeShares diffs two per-cause share maps (union of keys), ranked
+// by absolute movement, largest first (ties by cause name, so the output
+// is deterministic). It returns nil when either side has no shares — a
+// pre-v2 ledger record or a no-slot-budget model — since attributing
+// against an absent breakdown would be a guess, not an accounting.
+func AttributeShares(base, next map[string]float64) []ShareDelta {
+	if len(base) == 0 || len(next) == 0 {
+		return nil
+	}
+	causes := make(map[string]struct{}, len(base)+len(next))
+	for c := range base {
+		causes[c] = struct{}{}
+	}
+	for c := range next {
+		causes[c] = struct{}{}
+	}
+	out := make([]ShareDelta, 0, len(causes))
+	for c := range causes {
+		d := ShareDelta{Cause: c, Base: base[c], Next: next[c]}
+		d.Delta = d.Next - d.Base
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ai, aj := math.Abs(out[i].Delta), math.Abs(out[j].Delta)
+		if ai != aj {
+			return ai > aj
+		}
+		return out[i].Cause < out[j].Cause
+	})
+	return out
 }
 
 // LedgerRecord is one benchmark run. Key is the content hash of the
@@ -125,7 +179,8 @@ func (l *Ledger) Read() (recs []LedgerRecord, skipped int, err error) {
 			continue
 		}
 		var rec LedgerRecord
-		if json.Unmarshal(line, &rec) != nil || rec.SchemaVersion != LedgerSchemaVersion || rec.Key == "" {
+		if json.Unmarshal(line, &rec) != nil || rec.SchemaVersion < 1 ||
+			rec.SchemaVersion > LedgerSchemaVersion || rec.Key == "" {
 			skipped++
 			continue
 		}

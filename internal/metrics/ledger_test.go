@@ -250,3 +250,98 @@ func TestTrendsNoHistory(t *testing.T) {
 		t.Fatal("empty ledger must yield nil trends")
 	}
 }
+
+// TestLedgerV1Migration pins the exact JSON a version-1 engine wrote (the
+// shape before cycles/instructions/IPC/stall shares existed) and proves a
+// v2 reader still accepts it: the record decodes with zero-value v2
+// fields, sits in the same trend line as a fresh v2 record with the same
+// key, and attribution against it degrades to nil (no shares recorded)
+// rather than inventing a breakdown.
+func TestLedgerV1Migration(t *testing.T) {
+	dir := t.TempDir()
+	led, err := OpenLedger(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Literal v1 line, byte-for-byte as Append wrote it at schema version 1.
+	// Do not regenerate this from the current structs: the point is that
+	// yesterday's bytes decode today.
+	key := HashKey("go1.22.0", "8", "blowfish/rot/4096B CBC session, seed 12345", "replay-bench 4W,4W+,8W+,DF", "ooo-v1")
+	v1line := `{"schema_version":1,"time_unix":1700000000,"key":"` + key + `",` +
+		`"go_version":"go1.22.0","gomaxprocs":8,` +
+		`"workload":"blowfish/rot/4096B CBC session, seed 12345",` +
+		`"config":"replay-bench 4W,4W+,8W+,DF","engine_version":"ooo-v1",` +
+		`"models":[{"model":"4W","simulated_mips":12.5,"allocs_per_run":3,"bytes_per_run":512}]}` + "\n"
+	if err := os.WriteFile(filepath.Join(dir, LedgerFile), []byte(v1line), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	v2 := &LedgerRecord{
+		TimeUnix:      1700000100,
+		GoVersion:     "go1.22.0",
+		GOMAXPROCS:    8,
+		Workload:      "blowfish/rot/4096B CBC session, seed 12345",
+		Config:        "replay-bench 4W,4W+,8W+,DF",
+		EngineVersion: "ooo-v1",
+		Models: []LedgerModel{{
+			Model: "4W", SimMIPS: 11.0, AllocsPerRun: 3, BytesPerRun: 512,
+			Cycles: 9000, Instructions: 18000, IPC: 2.0,
+			StallShares: map[string]float64{"commit": 0.5, "ialu": 0.3, "window": 0.2},
+		}},
+	}
+	if err := led.Append(v2); err != nil {
+		t.Fatal(err)
+	}
+	recs, skipped, err := led.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Fatalf("v1 line was skipped: skipped=%d (old ledgers must stay readable)", skipped)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2 (v1 + v2)", len(recs))
+	}
+	old := recs[0]
+	if old.SchemaVersion != 1 || old.Models[0].SimMIPS != 12.5 {
+		t.Fatalf("v1 record mangled: %+v", old)
+	}
+	if old.Models[0].Cycles != 0 || old.Models[0].IPC != 0 || old.Models[0].StallShares != nil {
+		t.Fatalf("v1 record grew v2 fields out of thin air: %+v", old.Models[0])
+	}
+	if old.Key != recs[1].Key {
+		t.Fatalf("schema bump changed the trend-line key: %q vs %q", old.Key, recs[1].Key)
+	}
+	if recs[1].SchemaVersion != LedgerSchemaVersion {
+		t.Fatalf("fresh record stamped schema %d, want %d", recs[1].SchemaVersion, LedgerSchemaVersion)
+	}
+	// The v1 baseline still feeds Trends: one sample, sim-MIPS trajectory.
+	trends := Trends(recs, 5, 0.30)
+	if len(trends) == 0 || trends[0].Samples != 1 {
+		t.Fatalf("v1 record did not join the trend baseline: %+v", trends)
+	}
+	// Attribution across the schema boundary refuses to guess.
+	if got := AttributeShares(old.Models[0].StallShares, recs[1].Models[0].StallShares); got != nil {
+		t.Fatalf("attribution against a share-less v1 record must be nil, got %+v", got)
+	}
+}
+
+// TestAttributeShares pins the ranking and union semantics of the share
+// differ: largest absolute movement first, causes present on only one
+// side diffed against zero, deterministic tie-break by name.
+func TestAttributeShares(t *testing.T) {
+	base := map[string]float64{"commit": 0.60, "window": 0.30, "ialu": 0.10}
+	next := map[string]float64{"commit": 0.35, "window": 0.30, "sboxport": 0.35}
+	got := AttributeShares(base, next)
+	want := []ShareDelta{
+		{Cause: "sboxport", Base: 0, Next: 0.35, Delta: 0.35},
+		{Cause: "commit", Base: 0.60, Next: 0.35, Delta: -0.25},
+		{Cause: "ialu", Base: 0.10, Next: 0, Delta: -0.10},
+		{Cause: "window", Base: 0.30, Next: 0.30, Delta: 0},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("AttributeShares:\ngot  %+v\nwant %+v", got, want)
+	}
+	if AttributeShares(nil, next) != nil || AttributeShares(base, nil) != nil {
+		t.Fatal("attribution with a missing side must be nil, not a fabricated diff")
+	}
+}

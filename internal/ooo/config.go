@@ -162,6 +162,24 @@ func BottleneckConfig(name string) (Config, error) {
 	return c, nil
 }
 
+// ModelByNameFold is ModelByName with case-insensitive matching: "4w+"
+// resolves like "4W+", "df+issue" like "DF+Issue". The original error is
+// returned when no casing matches.
+func ModelByNameFold(name string) (Config, error) {
+	if cfg, err := ModelByName(name); err == nil {
+		return cfg, nil
+	}
+	if cfg, err := ModelByName(strings.ToUpper(name)); err == nil {
+		return cfg, nil
+	}
+	if rest, ok := strings.CutPrefix(strings.ToUpper(name), "DF+"); ok && rest != "" {
+		if cfg, err := ModelByName("DF+" + strings.ToUpper(rest[:1]) + strings.ToLower(rest[1:])); err == nil {
+			return cfg, nil
+		}
+	}
+	return ModelByName(name)
+}
+
 // Bottlenecks lists the Figure 5 bars in presentation order.
 var Bottlenecks = []string{"Alias", "Branch", "Issue", "Mem", "Res", "Window", "All"}
 

@@ -1,5 +1,7 @@
 package ooo
 
+import "fmt"
+
 // Commit-slot stall attribution. Every cycle of a finite-width run has
 // IssueWidth commit slots; each slot either retires an instruction
 // (StallCommit) or is charged to exactly one stall cause, determined by
@@ -93,6 +95,66 @@ func (b StallBreakdown) sub(prev StallBreakdown) StallBreakdown {
 		b[i] -= prev[i]
 	}
 	return b
+}
+
+// DeltaSigned returns the signed per-cause slot difference b−base. Unlike
+// sub it never wraps: the differential accounting layer compares arbitrary
+// runs, where either side may be larger per cause.
+func (b *StallBreakdown) DeltaSigned(base *StallBreakdown) [NumStallCauses]int64 {
+	var d [NumStallCauses]int64
+	for i := range b {
+		d[i] = int64(b[i]) - int64(base[i])
+	}
+	return d
+}
+
+// Shares returns the per-cause slot shares of the breakdown keyed by cause
+// name, omitting zero causes. Nil when no slots were charged (infinite-
+// width machines), so JSON encodings elide the field instead of carrying
+// an empty object.
+func (b *StallBreakdown) Shares() map[string]float64 {
+	t := b.Slots()
+	if t == 0 {
+		return nil
+	}
+	m := make(map[string]float64)
+	for c := StallCause(0); c < NumStallCauses; c++ {
+		if b[c] > 0 {
+			m[c.String()] = float64(b[c]) / float64(t)
+		}
+	}
+	return m
+}
+
+// ParseStallCause resolves a cause name produced by StallCause.String —
+// the inverse used when decoding persisted share maps.
+func ParseStallCause(name string) (StallCause, error) {
+	for c := StallCause(0); c < NumStallCauses; c++ {
+		if stallNames[c] == name {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("ooo: unknown stall cause %q", name)
+}
+
+// Width returns the commit width implied by the run's slot accounting:
+// Stalls.Slots()/Cycles, which the slots == cycles×width invariant makes
+// exact on finite-width machines. It returns 0 for machines with no slot
+// budget (the dataflow model) and for zero-cycle runs, and an error when
+// the accounting is inconsistent (slots not an exact multiple of cycles)
+// — the signal the differential layer refuses to attribute over.
+func (s *Stats) Width() (uint64, error) {
+	slots := s.Stalls.Slots()
+	if slots == 0 {
+		return 0, nil
+	}
+	if s.Cycles == 0 {
+		return 0, fmt.Errorf("ooo: %s: %d slots charged over zero cycles", s.Config, slots)
+	}
+	if slots%s.Cycles != 0 {
+		return 0, fmt.Errorf("ooo: %s: %d slots over %d cycles is not a whole width", s.Config, slots, s.Cycles)
+	}
+	return slots / s.Cycles, nil
 }
 
 // SboxMisses is the count of SBox-cache accesses that had to fetch their

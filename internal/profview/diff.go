@@ -1,0 +1,48 @@
+package profview
+
+import (
+	"fmt"
+	"io"
+
+	"cryptoarch/internal/diff"
+	"cryptoarch/internal/isa"
+)
+
+// DiffText renders the differential annotated disassembly of two
+// profiled runs. When the diff carries an aligned per-PC attribution
+// (same program on both sides) it writes one listing with base/next/Δ
+// slot columns and a gain/loss marker per instruction; otherwise the
+// programs differ, and it falls back to the two sides' annotated
+// listings rendered one after the other, so the shift is still readable
+// side by side.
+func DiffText(w io.Writer, base, next *Source, rd *diff.RunDiff, topN int) {
+	d := rd.Delta
+	fmt.Fprintf(w, "differential listing: %s  →  %s\n", d.BaseLabel, d.NextLabel)
+	if rd.PCs == nil {
+		fmt.Fprintf(w, "programs differ (%d vs %d instructions): rendering each side's annotated listing\n",
+			len(base.Prog.Code), len(next.Prog.Code))
+		fmt.Fprintf(w, "\n--- base ---\n")
+		Text(w, base, topN)
+		fmt.Fprintf(w, "\n--- next ---\n")
+		Text(w, next, topN)
+		return
+	}
+	fmt.Fprintf(w, "margin: base slots, next slots, Δslots (+ gained, - lost), top Δcause\n\n")
+	isa.ListingTo(w, base.Prog, func(idx int) string {
+		p := &rd.PCs.PCs[idx]
+		baseSlots := base.Prof.PCs[idx].SlotTotal()
+		nextSlots := uint64(0)
+		if idx < len(next.Prof.PCs) {
+			nextSlots = next.Prof.PCs[idx].SlotTotal()
+		}
+		if baseSlots == 0 && nextSlots == 0 {
+			return fmt.Sprintf("%10s %10s %11s %-9s ", ".", ".", ".", "")
+		}
+		cause, _ := p.TopCause()
+		mark := ""
+		if t := p.Total(); t != 0 {
+			mark = cause.String()
+		}
+		return fmt.Sprintf("%10d %10d %+11d %-9s ", baseSlots, nextSlots, p.Total(), mark)
+	})
+}
