@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -325,14 +326,14 @@ func benchStore() (*storeBench, error) {
 	return sb, nil
 }
 
-func timedSweep(workers int) float64 {
+func timedSweep(ctx context.Context, workers int) (float64, *experiments.SweepOutcome) {
 	experiments.ResetCache() // drops cell results and recorded traces
 	prev := experiments.SetParallelism(workers)
 	defer experiments.SetParallelism(prev)
 	runtime.GC() // level the heap between passes so the second isn't charged the first's garbage
 	start := time.Now()
-	experiments.Sweep(experiments.AllCells())
-	return time.Since(start).Seconds()
+	out := experiments.SweepObservedCtx(ctx, experiments.AllCells(), nil)
+	return time.Since(start).Seconds(), out
 }
 
 // attributionLines renders the per-cause stall-share movement between two
@@ -517,7 +518,9 @@ func runHistory(dir string, window int, tol float64) int {
 	return 0
 }
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	out := flag.String("o", "BENCH_PR8.json", "output file (\"-\" for stdout)")
 	skipSweep := flag.Bool("nosweep", false, "skip the full-suite sweep timing (much faster)")
 	chunks := flag.Int("chunks", 8, "chunk count for the chunked-replay benchmark (0 disables)")
@@ -533,17 +536,32 @@ func main() {
 	window := flag.Int("window", 5, "rolling-baseline window for -history (earlier comparable runs averaged)")
 	tol := flag.Float64("tol", 0.30, "relative tolerance for -history (0.30 = flag a >30% move in the bad direction)")
 	metricsAddr := flag.String("metrics-addr", "", "serve read-only telemetry over HTTP on this address (e.g. 127.0.0.1:8088; empty = off): /metrics is the live registry snapshot, /progress the current benchmark phase")
+	ckptPath := flag.String("checkpoint", "sweep.ckpt", "sweep checkpoint file, written when the sweep phase is interrupted")
+	resume := flag.Bool("resume", false, "validate the checkpoint against this grid and tree before benchmarking (with -store-dir, completed sweep cells warm-hit the store)")
 	flag.Parse()
 
 	if *history {
-		os.Exit(runHistory(*ledgerDir, *window, *tol))
+		return runHistory(*ledgerDir, *window, *tol)
 	}
 
 	harness.SetTraceBudget(*traceBudget)
 
+	// First SIGINT/SIGTERM cancels the run: the current phase winds down at
+	// its cooperative boundaries and the process exits 130 through the
+	// normal defers (metrics endpoint drained, checkpoint written if the
+	// sweep was interrupted). A second signal force-exits 131. No partial
+	// benchmark record is ever appended to the ledger: an interrupted
+	// measurement would poison the trend baselines.
+	ctx, stopSignals := harness.NotifyInterrupt(context.Background(), func(sig os.Signal) {
+		fmt.Fprintf(os.Stderr, "simbench: %v again — forced exit, skipping cleanup\n", sig)
+		os.Exit(harness.ExitForced)
+	})
+	defer stopSignals()
+
 	// Read-only HTTP observability, off by default: the live metrics
 	// registry plus which benchmark phase is running (a full simbench run
 	// takes minutes; /progress answers "where is it" without interrupting).
+	// The endpoint drains and releases its port on every exit path.
 	var phaseMu sync.Mutex
 	phaseNow := "startup"
 	setPhase := func(p string) {
@@ -552,25 +570,52 @@ func main() {
 		phaseMu.Unlock()
 	}
 	if *metricsAddr != "" {
-		addr, err := metrics.ServeMetrics(*metricsAddr, harness.Metrics(), func() any {
+		msrv, err := metrics.StartMetrics(*metricsAddr, harness.Metrics(), func() any {
 			phaseMu.Lock()
 			defer phaseMu.Unlock()
 			return map[string]string{"phase": phaseNow}
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "simbench:", err)
-			os.Exit(1)
+			return harness.ExitError
 		}
-		fmt.Fprintf(os.Stderr, "metrics: read-only telemetry on http://%s (/metrics, /progress)\n", addr)
+		fmt.Fprintf(os.Stderr, "metrics: read-only telemetry on http://%s (/metrics, /progress)\n", msrv.Addr())
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			msrv.Shutdown(sctx)
+		}()
 	}
 	if *storeDir != "" && !*noStore {
 		s, err := store.Open(*storeDir, *storeBudget)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "simbench:", err)
-			os.Exit(1)
+			return harness.ExitError
 		}
 		harness.SetStore(s)
 	}
+
+	// -resume: same identity discipline as asplos2000 — the checkpoint must
+	// match this grid under this tree, or the flag refuses. The benchmark
+	// then runs normally; with a persistent store installed, the sweep
+	// phase's completed cells warm-hit it.
+	if *resume {
+		cp, err := experiments.LoadCheckpoint(*ckptPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: -resume: %v\n", err)
+			return harness.ExitUsage
+		}
+		if err := cp.Matches(experiments.AllCells()); err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: -resume: %v\n", err)
+			return harness.ExitUsage
+		}
+		fmt.Fprintf(os.Stderr, "resume: checkpoint %s matches grid (%d done, %d outstanding of %d)\n",
+			cp.GridKey, cp.Done, len(cp.Outstanding), cp.Total)
+	}
+
+	// interrupted reports (once per phase boundary) whether the run context
+	// was cancelled; phases after a cancellation never start.
+	interrupted := func() bool { return ctx.Err() != nil }
 
 	res := result{
 		SchemaVersion: resultSchemaVersion,
@@ -583,22 +628,28 @@ func main() {
 	rec, err := benchRecord()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simbench:", err)
-		os.Exit(1)
+		return harness.ExitError
 	}
 	res.TraceRecordSeconds = rec
 	fmt.Fprintf(os.Stderr, "trace record %8.1f ms (one-time per cell)\n", 1e3*rec)
 	for _, cfg := range []ooo.Config{ooo.FourWide, ooo.FourWidePlus, ooo.EightWidePlus, ooo.Dataflow} {
+		if interrupted() {
+			break
+		}
 		setPhase("model " + cfg.Name)
 		mb, err := benchModel(cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "simbench:", err)
-			os.Exit(1)
+			return harness.ExitError
 		}
 		fmt.Fprintf(os.Stderr, "%-4s %8.1f ms/run (replay)  %6.2f sim-MIPS  %5d allocs/run\n",
 			mb.Model, 1e3*mb.SecPerRun, mb.SimMIPS, mb.AllocsPerRun)
 		res.Models = append(res.Models, mb)
 	}
 	for _, cfg := range []ooo.Config{ooo.FourWide, ooo.EightWidePlus} {
+		if interrupted() {
+			break
+		}
 		setPhase("approx-modes " + cfg.Name)
 		var serial modelBench
 		for _, m := range res.Models {
@@ -610,7 +661,7 @@ func main() {
 			cb, err := benchChunked(cfg, serial, *chunks, *chunkWorkers)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "simbench:", err)
-				os.Exit(1)
+				return harness.ExitError
 			}
 			fmt.Fprintf(os.Stderr, "%-4s %8.1f ms/run (chunked x%d/%dw)  %6.2f sim-MIPS  %.2fx vs serial  cycle err %.4f\n",
 				cb.Model, 1e3*cb.SecPerRun, cb.Chunks, cb.Workers, cb.SimMIPS, cb.SpeedupVsSerial, cb.CycleRelErr)
@@ -620,7 +671,7 @@ func main() {
 			sb, err := benchSampled(cfg, serial, *sample)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "simbench:", err)
-				os.Exit(1)
+				return harness.ExitError
 			}
 			fmt.Fprintf(os.Stderr, "%-4s %8.1f ms/run (sampled K=%d)  %6.2f eff-MIPS  %.2fx vs serial  cycle err %.4f (bound %.4f)\n",
 				sb.Model, 1e3*sb.SecPerRun, sb.Intervals, sb.EffectiveSimMIPS, sb.SpeedupVsSerial, sb.CycleRelErr, sb.ReportedErrBound)
@@ -631,34 +682,60 @@ func main() {
 	fmt.Fprintf(os.Stderr, "trace cache: %d hits, %d misses (%d records, %d replays, %d live)\n",
 		res.TraceCache.Hits, res.TraceCache.Misses, res.TraceCache.Records,
 		res.TraceCache.Replays, res.TraceCache.LiveFallbacks)
-	if !*noStore {
+	if !*noStore && !interrupted() {
 		setPhase("store")
 		sb, err := benchStore()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "simbench:", err)
-			os.Exit(1)
+			return harness.ExitError
 		}
 		fmt.Fprintf(os.Stderr, "store: cold %8.1f ms (record+persist), warm %8.1f ms (fault-in)  %.1fx\n",
 			1e3*sb.ColdSeconds, 1e3*sb.WarmSeconds, sb.Speedup)
 		res.StoreBench = sb
 	}
-	if !*skipSweep {
+	if !*skipSweep && !interrupted() {
 		res.SweepCells = len(experiments.AllCells())
 		res.SweepWorkers = runtime.GOMAXPROCS(0)
 		setPhase("sweep serial")
-		res.SweepSerialSeconds = timedSweep(1)
-		setPhase("sweep parallel")
-		res.SweepParallelSeconds = timedSweep(res.SweepWorkers)
+		serialSec, serialOut := timedSweep(ctx, 1)
+		res.SweepSerialSeconds = serialSec
+		var parallelOut *experiments.SweepOutcome
+		if serialOut.Cancelled == nil {
+			setPhase("sweep parallel")
+			res.SweepParallelSeconds, parallelOut = timedSweep(ctx, res.SweepWorkers)
+		}
 		experiments.ResetCache()
-		fmt.Fprintf(os.Stderr, "sweep %d cells: serial %.1fs, %d workers %.1fs\n",
-			res.SweepCells, res.SweepSerialSeconds, res.SweepWorkers, res.SweepParallelSeconds)
+		// An interrupted sweep phase leaves a checkpoint: the grid identity
+		// plus what completed, so a -store-dir run can resume warm.
+		for _, out := range []*experiments.SweepOutcome{serialOut, parallelOut} {
+			if out != nil && out.Cancelled != nil {
+				cp := experiments.NewCheckpoint(experiments.AllCells(), out, "interrupt")
+				if err := experiments.WriteCheckpoint(*ckptPath, cp); err != nil {
+					fmt.Fprintf(os.Stderr, "simbench: checkpoint: %v\n", err)
+				} else {
+					fmt.Fprintf(os.Stderr, "checkpoint: wrote %s (%d done of %d)\n", *ckptPath, cp.Done, cp.Total)
+				}
+				break
+			}
+		}
+		if !interrupted() {
+			fmt.Fprintf(os.Stderr, "sweep %d cells: serial %.1fs, %d workers %.1fs\n",
+				res.SweepCells, res.SweepSerialSeconds, res.SweepWorkers, res.SweepParallelSeconds)
+		}
+	}
+	// An interrupted run appends nothing and writes nothing: partial
+	// measurements must not join the ledger's trend baselines or overwrite
+	// a complete result file.
+	if interrupted() {
+		fmt.Fprintf(os.Stderr, "simbench: interrupted (%v); no result written, no ledger record appended\n", ctx.Err())
+		return harness.ExitInterrupt
 	}
 	setPhase("finalize")
 	if *ledgerDir != "" {
 		l, err := metrics.OpenLedger(*ledgerDir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "simbench:", err)
-			os.Exit(1)
+			return harness.ExitError
 		}
 		rec := metrics.LedgerRecord{
 			TimeUnix:      time.Now().Unix(),
@@ -691,7 +768,7 @@ func main() {
 		}
 		if err := l.Append(&rec); err != nil {
 			fmt.Fprintln(os.Stderr, "simbench:", err)
-			os.Exit(1)
+			return harness.ExitError
 		}
 		res.LedgerKey = rec.Key
 		fmt.Fprintf(os.Stderr, "ledger: appended key %s to %s\n", rec.Key, l.Path())
@@ -702,27 +779,28 @@ func main() {
 	if *check != "" {
 		if err := checkBaseline(res.Models, *check); err != nil {
 			fmt.Fprintln(os.Stderr, "simbench:", err)
-			os.Exit(1)
+			return harness.ExitError
 		}
 		if err := checkAccuracy(res.ChunkedBench, res.SampledBench); err != nil {
 			fmt.Fprintln(os.Stderr, "simbench:", err)
-			os.Exit(1)
+			return harness.ExitError
 		}
 		fmt.Fprintln(os.Stderr, "baseline check passed:", *check)
 	}
 	b, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simbench:", err)
-		os.Exit(1)
+		return harness.ExitError
 	}
 	b = append(b, '\n')
 	if *out == "-" {
 		os.Stdout.Write(b)
-		return
+		return harness.ExitOK
 	}
 	if err := os.WriteFile(*out, b, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "simbench:", err)
-		os.Exit(1)
+		return harness.ExitError
 	}
 	fmt.Fprintln(os.Stderr, "wrote", *out)
+	return harness.ExitOK
 }

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"cryptoarch/internal/emu"
+	"cryptoarch/internal/metrics"
+	"cryptoarch/internal/ooo"
+)
+
+// Sweep checkpoints. An interrupted sweep's durable state lives in the
+// persistent store — every completed cell is already on disk under its
+// content-derived key — so the checkpoint does not carry results. What it
+// carries is identity and accounting: a content hash of the exact grid
+// (engine version, emulator version, every unique cell key) that a resume
+// validates before trusting the store, plus the ledger of what was done,
+// what was poisoned, and what remains. Resuming is then simply re-running
+// the same grid: done cells warm-hit the store, outstanding cells execute,
+// and the assembled report is byte-identical to an uninterrupted run.
+
+// CheckpointVersion stamps the checkpoint JSON shape; bump on any change
+// so stale files are rejected rather than misread.
+const CheckpointVersion = 1
+
+// Checkpoint is the resumable state of one sweep over one grid.
+type Checkpoint struct {
+	Version int    `json:"version"`
+	GridKey string `json:"grid_key"` // identity: hash of versions + cell keys
+	Engine  string `json:"engine_version"`
+	Emu     string `json:"emu_version"`
+	Total   int    `json:"total_cells"`
+	Done    int    `json:"done_cells"`
+	// Poisoned and Outstanding list the cell keys that failed (error,
+	// panic, timeout) and that never completed (cancelled or skipped).
+	// Done + len(Poisoned) + len(Outstanding) == Total, always.
+	Poisoned    []string `json:"poisoned,omitempty"`
+	Outstanding []string `json:"outstanding,omitempty"`
+	// Reason records why the checkpoint was written: "interrupt" from a
+	// signal handler, "complete" at the end of a clean run.
+	Reason string `json:"reason"`
+}
+
+// GridKey derives the content identity of a cell grid: the same grid (same
+// unique cells, same engine and emulator versions) always hashes to the
+// same key, and any change to either provably misses.
+func GridKey(cells []Cell) string {
+	seen := make(map[string]bool, len(cells))
+	fields := make([]string, 0, len(cells)+2)
+	fields = append(fields, ooo.EngineVersion, emu.Version)
+	for _, c := range cells {
+		if k := c.key(); !seen[k] {
+			seen[k] = true
+			fields = append(fields, k)
+		}
+	}
+	return metrics.HashKey(fields...)
+}
+
+// NewCheckpoint assembles a checkpoint from a supervised sweep's outcome.
+func NewCheckpoint(cells []Cell, out *SweepOutcome, reason string) *Checkpoint {
+	cp := &Checkpoint{
+		Version: CheckpointVersion,
+		GridKey: GridKey(cells),
+		Engine:  ooo.EngineVersion,
+		Emu:     emu.Version,
+		Total:   len(out.Cells),
+		Done:    out.Count(CellDone),
+		Reason:  reason,
+	}
+	for _, co := range out.Poisoned() {
+		cp.Poisoned = append(cp.Poisoned, co.Cell.key())
+	}
+	for _, co := range out.Outstanding() {
+		cp.Outstanding = append(cp.Outstanding, co.Cell.key())
+	}
+	return cp
+}
+
+// Encode renders the checkpoint as indented JSON with a trailing newline.
+func (cp *Checkpoint) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(cp, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// DecodeCheckpoint parses and validates checkpoint bytes. Corrupt,
+// truncated, or internally inconsistent input returns an error — never a
+// panic, and never a half-trusted checkpoint (the fuzz target holds this
+// to arbitrary input).
+func DecodeCheckpoint(b []byte) (*Checkpoint, error) {
+	var cp Checkpoint
+	if err := json.Unmarshal(b, &cp); err != nil {
+		return nil, fmt.Errorf("experiments: undecodable checkpoint: %w", err)
+	}
+	if cp.Version != CheckpointVersion {
+		return nil, fmt.Errorf("experiments: checkpoint version %d, want %d", cp.Version, CheckpointVersion)
+	}
+	if len(cp.GridKey) != 16 {
+		return nil, fmt.Errorf("experiments: malformed checkpoint grid key %q", cp.GridKey)
+	}
+	for _, r := range cp.GridKey {
+		if (r < '0' || r > '9') && (r < 'a' || r > 'f') {
+			return nil, fmt.Errorf("experiments: malformed checkpoint grid key %q", cp.GridKey)
+		}
+	}
+	if cp.Total < 0 || cp.Done < 0 || cp.Done > cp.Total {
+		return nil, fmt.Errorf("experiments: checkpoint counts out of range: done %d of %d", cp.Done, cp.Total)
+	}
+	if cp.Done+len(cp.Poisoned)+len(cp.Outstanding) != cp.Total {
+		return nil, fmt.Errorf("experiments: checkpoint accounting broken: %d done + %d poisoned + %d outstanding != %d total",
+			cp.Done, len(cp.Poisoned), len(cp.Outstanding), cp.Total)
+	}
+	return &cp, nil
+}
+
+// Matches validates that the checkpoint was written for exactly this grid
+// under exactly this tree. A mismatch means the store cannot be assumed
+// warm for these cells and the resume flag is refusing, not resuming.
+func (cp *Checkpoint) Matches(cells []Cell) error {
+	if k := GridKey(cells); k != cp.GridKey {
+		return fmt.Errorf("experiments: checkpoint grid %s does not match current grid %s (engine %s/%s vs %s/%s)",
+			cp.GridKey, k, cp.Engine, cp.Emu, ooo.EngineVersion, emu.Version)
+	}
+	return nil
+}
+
+// WriteCheckpoint persists a checkpoint atomically (temp + rename in the
+// destination directory), so a crash mid-write leaves either the previous
+// checkpoint or none — never a torn one.
+func WriteCheckpoint(path string, cp *Checkpoint) error {
+	b, err := cp.Encode()
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(filepath.Dir(path), fmt.Sprintf(".ckpt-%d", os.Getpid()))
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// LoadCheckpoint reads and validates a checkpoint file.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeCheckpoint(b)
+}

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func checkpointGrid() []Cell {
+	return []Cell{phantomCell(1), phantomCell(2), phantomCell(3)}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	withOverride(t, func(c Cell, r *cellResult) bool { r.n = 1; return true })
+	cells := checkpointGrid()
+	out := SweepObservedCtx(context.Background(), cells, nil)
+	cp := NewCheckpoint(cells, out, "complete")
+	if cp.Total != 3 || cp.Done != 3 || len(cp.Outstanding) != 0 || len(cp.Poisoned) != 0 {
+		t.Fatalf("checkpoint accounting: %+v", cp)
+	}
+	b, err := cp.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeCheckpoint(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.GridKey != cp.GridKey || got.Done != cp.Done || got.Reason != "complete" {
+		t.Fatalf("round trip: %+v vs %+v", got, cp)
+	}
+	if err := got.Matches(cells); err != nil {
+		t.Fatalf("checkpoint rejects its own grid: %v", err)
+	}
+}
+
+func TestCheckpointInterruptAccounting(t *testing.T) {
+	prev := SetParallelism(1)
+	defer SetParallelism(prev)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	n := 0
+	withOverride(t, func(c Cell, r *cellResult) bool {
+		n++
+		if n == 1 {
+			cancel()
+		}
+		r.n = 1
+		return true
+	})
+	cells := checkpointGrid()
+	out := SweepObservedCtx(ctx, cells, nil)
+	cp := NewCheckpoint(cells, out, "interrupt")
+	if cp.Done != 1 || len(cp.Outstanding) != 2 || cp.Total != 3 {
+		t.Fatalf("interrupt accounting: %+v", cp)
+	}
+	// The outstanding keys identify exactly the unexecuted cells.
+	want := map[string]bool{cells[1].key(): true, cells[2].key(): true}
+	for _, k := range cp.Outstanding {
+		if !want[k] {
+			t.Fatalf("unexpected outstanding key %q", k)
+		}
+	}
+}
+
+func TestCheckpointGridKeySensitivity(t *testing.T) {
+	cells := checkpointGrid()
+	base := GridKey(cells)
+	// Dedup: duplicates do not change the identity.
+	if got := GridKey(append([]Cell{cells[0]}, cells...)); got != base {
+		t.Fatalf("duplicate cell changed grid key: %s vs %s", got, base)
+	}
+	// Any grid change misses.
+	if got := GridKey(cells[:2]); got == base {
+		t.Fatal("shrunk grid collided")
+	}
+	changed := append([]Cell{}, cells...)
+	changed[0].Seed++
+	if got := GridKey(changed); got == base {
+		t.Fatal("reseeded grid collided")
+	}
+}
+
+func TestCheckpointMismatchRefuses(t *testing.T) {
+	cells := checkpointGrid()
+	out := &SweepOutcome{Cells: []CellOutcome{
+		{Cell: cells[0], State: CellDone},
+		{Cell: cells[1], State: CellDone},
+		{Cell: cells[2], State: CellDone},
+	}}
+	cp := NewCheckpoint(cells, out, "complete")
+	other := checkpointGrid()
+	other[0].Session = 999
+	if err := cp.Matches(other); err == nil || !strings.Contains(err.Error(), "does not match") {
+		t.Fatalf("mismatched grid accepted: %v", err)
+	}
+}
+
+func TestCheckpointDecodeRejectsBrokenInput(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"not json":       "put-123-garbage",
+		"wrong version":  `{"version":99,"grid_key":"0123456789abcdef","total_cells":0,"done_cells":0,"reason":"x"}`,
+		"short key":      `{"version":1,"grid_key":"abc","total_cells":0,"done_cells":0,"reason":"x"}`,
+		"non-hex key":    `{"version":1,"grid_key":"zzzzzzzzzzzzzzzz","total_cells":0,"done_cells":0,"reason":"x"}`,
+		"done > total":   `{"version":1,"grid_key":"0123456789abcdef","total_cells":1,"done_cells":2,"reason":"x"}`,
+		"negative total": `{"version":1,"grid_key":"0123456789abcdef","total_cells":-1,"done_cells":0,"reason":"x"}`,
+		"bad accounting": `{"version":1,"grid_key":"0123456789abcdef","total_cells":5,"done_cells":1,"outstanding":["a"],"reason":"x"}`,
+	}
+	for name, in := range cases {
+		if _, err := DecodeCheckpoint([]byte(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+func TestCheckpointWriteLoad(t *testing.T) {
+	cells := checkpointGrid()
+	out := &SweepOutcome{Cells: []CellOutcome{
+		{Cell: cells[0], State: CellDone},
+		{Cell: cells[1], State: CellSkipped},
+		{Cell: cells[2], State: CellSkipped},
+	}}
+	cp := NewCheckpoint(cells, out, "interrupt")
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	if err := WriteCheckpoint(path, cp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.GridKey != cp.GridKey || got.Done != 1 || len(got.Outstanding) != 2 {
+		t.Fatalf("loaded checkpoint %+v", got)
+	}
+	// No temp residue from the atomic write.
+	if m, _ := filepath.Glob(filepath.Join(filepath.Dir(path), ".ckpt-*")); len(m) != 0 {
+		t.Fatalf("checkpoint temp residue: %v", m)
+	}
+}
+
+// FuzzCheckpointDecode holds DecodeCheckpoint to the decoder contract:
+// arbitrary input either yields a checkpoint that re-encodes and passes
+// validation again, or an error — never a panic, never a half-valid
+// checkpoint.
+func FuzzCheckpointDecode(f *testing.F) {
+	cells := []Cell{phantomCell(1), phantomCell(2)}
+	out := &SweepOutcome{Cells: []CellOutcome{
+		{Cell: cells[0], State: CellDone},
+		{Cell: cells[1], State: CellSkipped},
+	}}
+	if b, err := NewCheckpoint(cells, out, "interrupt").Encode(); err == nil {
+		f.Add(b)
+		f.Add(b[:len(b)/2])    // truncated
+		f.Add(append(b, b...)) // trailing garbage
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1}`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cp, err := DecodeCheckpoint(data)
+		if err != nil {
+			return
+		}
+		// Accepted checkpoints must survive a re-encode/re-decode cycle.
+		b, err := cp.Encode()
+		if err != nil {
+			t.Fatalf("accepted checkpoint fails to encode: %v", err)
+		}
+		if _, err := DecodeCheckpoint(b); err != nil {
+			t.Fatalf("re-encoded checkpoint rejected: %v", err)
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -147,9 +148,20 @@ func getCell(c Cell) *cellResult {
 		if loadCellFromStore(c, r) {
 			return
 		}
-		r.exec(c)
+		r.execSupervised(c)
 		saveCellToStore(c, r)
 	})
+	// A cancellation error is an artifact of this run's interruption, not a
+	// property of the cell: drop the slot from the memo cache so a later
+	// sweep in the same process (or a resumed run) re-executes the cell
+	// instead of replaying the stale interrupt.
+	if r.err != nil && cancelErr(r.err) {
+		runMu.Lock()
+		if runCache[k] == r {
+			delete(runCache, k)
+		}
+		runMu.Unlock()
+	}
 	return r
 }
 
@@ -236,22 +248,44 @@ func newSweepTelemetry(r *metrics.Registry) sweepTelemetry {
 	}
 }
 
-// queuedCell stamps a cell with its enqueue time so the receiving worker
-// can observe how long it sat waiting for a free slot.
+// queuedCell stamps a cell with its index in the unique grid and its
+// enqueue time, so the receiving worker can record the outcome slot and
+// observe how long the cell sat waiting for a free worker.
 type queuedCell struct {
-	c  Cell
-	at time.Time
+	idx int
+	c   Cell
+	at  time.Time
 }
 
 // SweepObserved is Sweep with a per-cell progress callback (nil behaves
 // exactly like Sweep). Timing the callback observes is observation only:
 // cell results and report bytes are identical with or without it.
 func SweepObserved(cells []Cell, progress SweepProgress) {
+	SweepObservedCtx(context.Background(), cells, progress)
+}
+
+// SweepObservedCtx is the supervised sweep: SweepObserved under a context.
+// Cancelling ctx stops the sweep at the next cooperative boundary — no new
+// cell is dispatched, and harness orchestrators (chunked replay, interval
+// sampling) stop between chunks — while cells already inside the engine's
+// cycle loop finish and land normally, so every completed cell is exact
+// and storable. The returned outcome reports every unique cell's fate:
+// done, failed, panicked, timed out, cancelled mid-flight, or never
+// started. A cancelled sweep's partial outcome is the input to checkpoint
+// assembly; re-running the same grid resumes from whatever the store and
+// cache already hold.
+func SweepObservedCtx(ctx context.Context, cells []Cell, progress SweepProgress) *SweepOutcome {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	// Relax GC pacing for the duration of the sweep: recording buffers and
 	// retained traces create a large transient heap, and the default
 	// target makes the collector chase it with frequent cycles that eat
 	// measurable wall time on a single-CPU host.
 	defer debug.SetGCPercent(debug.SetGCPercent(300))
+	// Install the run context for the harness's cooperative cancellation
+	// points; restore whatever was there so nested sweeps compose.
+	defer harness.SetRunContext(harness.SetRunContext(ctx))
 	seen := make(map[string]bool, len(cells))
 	uniq := cells[:0:0]
 	for _, c := range cells {
@@ -295,17 +329,42 @@ func SweepObserved(cells []Cell, progress SweepProgress) {
 		progressMu.Unlock()
 	}
 
-	if n <= 1 {
-		for _, c := range uniq {
-			start := time.Now()
-			sp := tl.BeginOn(sweepSpan, "cell", c.label())
-			getCell(c)
-			tl.End(sp)
-			d := time.Since(start)
-			tele.cellNS.Observe(d.Nanoseconds())
-			finish(c, d)
+	// Every unique cell gets an outcome slot; cells the sweep never reaches
+	// keep the zero-value state overwritten here to CellSkipped. Workers
+	// write disjoint slots (by index), so no lock is needed.
+	outcomes := make([]CellOutcome, len(uniq))
+	for i := range outcomes {
+		outcomes[i] = CellOutcome{Cell: uniq[i], State: CellSkipped}
+	}
+	runOne := func(idx int, c Cell) time.Duration {
+		start := time.Now()
+		sp := tl.BeginOn(sweepSpan, "cell", c.label())
+		r := getCell(c)
+		tl.End(sp)
+		d := time.Since(start)
+		st, err := classifyCell(r)
+		outcomes[idx] = CellOutcome{Cell: c, State: st, Err: err, Wall: d}
+		tele.cellNS.Observe(d.Nanoseconds())
+		finish(c, d)
+		return d
+	}
+	wrapUp := func() *SweepOutcome {
+		out := &SweepOutcome{Cells: outcomes, Cancelled: ctx.Err()}
+		if out.Cancelled != nil {
+			reg.Counter("sweep.cancelled").Inc()
 		}
-		return
+		return out
+	}
+
+	if n <= 1 {
+		for i, c := range uniq {
+			// Cell boundary: a cancelled sweep dispatches nothing further.
+			if ctx.Err() != nil {
+				break
+			}
+			runOne(i, c)
+		}
+		return wrapUp()
 	}
 	ch := make(chan queuedCell)
 	var wg sync.WaitGroup
@@ -326,22 +385,26 @@ func SweepObserved(cells []Cell, progress SweepProgress) {
 			busy := reg.Counter(fmt.Sprintf("sweep.worker.%02d.busy_ns", w))
 			for q := range ch {
 				tele.queueNS.Observe(time.Since(q.at).Nanoseconds())
-				start := time.Now()
-				sp := tl.BeginOn(sweepSpan, "cell", q.c.label())
-				getCell(q.c)
-				tl.End(sp)
-				d := time.Since(start)
-				busy.Add(d.Nanoseconds())
-				tele.cellNS.Observe(d.Nanoseconds())
-				finish(q.c, d)
+				// Cell boundary: a cell still queued when the sweep is
+				// cancelled stays skipped instead of starting.
+				if ctx.Err() != nil {
+					continue
+				}
+				busy.Add(runOne(q.idx, q.c).Nanoseconds())
 			}
 		}(i + 1)
 	}
-	for _, c := range uniq {
-		ch <- queuedCell{c: c, at: time.Now()}
+dispatch:
+	for i, c := range uniq {
+		select {
+		case ch <- queuedCell{idx: i, c: c, at: time.Now()}:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(ch)
 	wg.Wait()
+	return wrapUp()
 }
 
 // Cached accessors used by the report generators. Each resolves through

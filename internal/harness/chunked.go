@@ -238,6 +238,13 @@ func timeChunked(cipher string, feat isa.Feature, cfg ooo.Config, sessionBytes i
 			if i >= c {
 				return
 			}
+			// Chunk boundary: a cancelled run stops claiming chunks. The
+			// chunk already replaying on each worker finishes; this one
+			// reports the cancellation instead of starting.
+			if err := Cancelled(); err != nil {
+				results[i] = chunkResult{err: err}
+				return
+			}
 			sp := metrics.NoSpan
 			if tl != nil {
 				sp = tl.BeginOn(parent, "chunk", "chunk "+cfg.Name)

@@ -160,6 +160,12 @@ func TimeKernelSampled(cipher string, feat isa.Feature, cfg ooo.Config, sessionB
 			if i >= k {
 				return
 			}
+			// Interval boundary: a cancelled run stops claiming windows,
+			// mirroring the chunked-replay cancellation point.
+			if err := Cancelled(); err != nil {
+				results[i] = chunkResult{err: err}
+				return
+			}
 			sp := metrics.NoSpan
 			if tl != nil {
 				sp = tl.BeginOn(parent, "interval", "interval "+cfg.Name)

@@ -1,0 +1,64 @@
+package harness
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// Signal-driven shutdown for the long-running commands. The first
+// SIGINT/SIGTERM cancels the run context — the supervised sweep winds down
+// at its cooperative boundaries, the caller checkpoints and flushes, and
+// the process exits with ExitInterrupt. A second signal means the user is
+// done waiting: the force callback runs (typically os.Exit(ExitForced))
+// without any further cleanup.
+
+// Process exit codes shared by the commands. 130 follows the shell
+// convention for SIGINT termination (128+2); 131 marks the forced
+// second-signal exit that skipped cleanup.
+const (
+	ExitOK        = 0
+	ExitError     = 1
+	ExitUsage     = 2
+	ExitPoisoned  = 5 // run completed, but one or more cells failed/panicked/timed out
+	ExitInterrupt = 130
+	ExitForced    = 131
+)
+
+// NotifyInterrupt returns a context cancelled by the first SIGINT/SIGTERM
+// and a stop function that releases the signal handler (idempotent,
+// always safe to defer). A second signal invokes force on the handler
+// goroutine.
+func NotifyInterrupt(parent context.Context, force func(sig os.Signal)) (context.Context, func()) {
+	ctx, cancel := context.WithCancel(parent)
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ch:
+			cancel()
+		case <-done:
+			return
+		}
+		select {
+		case sig := <-ch:
+			if force != nil {
+				force(sig)
+			}
+		case <-done:
+		}
+	}()
+	var stopOnce bool
+	stop := func() {
+		if stopOnce {
+			return
+		}
+		stopOnce = true
+		signal.Stop(ch)
+		close(done)
+		cancel()
+	}
+	return ctx, stop
+}

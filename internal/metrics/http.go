@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -62,17 +63,48 @@ func NewHTTPHandler(reg *Registry, progress func() any) http.Handler {
 	return mux
 }
 
-// ServeMetrics binds addr (e.g. "127.0.0.1:0"), starts serving the
-// read-only handler in a background goroutine, and returns the bound
-// address — so ":0" callers can print the port that was actually chosen.
-// The listener lives until the process exits; there is deliberately no
-// shutdown plumbing, matching the endpoint's observe-only role.
-func ServeMetrics(addr string, reg *Registry, progress func() any) (string, error) {
+// MetricsServer is a running -metrics-addr endpoint with shutdown
+// plumbing, so a signal-interrupted run can drain in-flight scrapes and
+// release the port before the process exits.
+type MetricsServer struct {
+	srv  *http.Server
+	addr string
+}
+
+// Addr is the bound listen address ("127.0.0.1:ppppp" for ":0" callers).
+func (m *MetricsServer) Addr() string { return m.addr }
+
+// Shutdown gracefully stops the endpoint: the listener closes, in-flight
+// requests finish (bounded by ctx), and the port is released. Safe on a
+// nil receiver, so callers can shut down unconditionally.
+func (m *MetricsServer) Shutdown(ctx context.Context) error {
+	if m == nil {
+		return nil
+	}
+	return m.srv.Shutdown(ctx)
+}
+
+// StartMetrics binds addr (e.g. "127.0.0.1:0") and starts serving the
+// read-only handler in a background goroutine. The returned server
+// reports the bound address — so ":0" callers can print the port that was
+// actually chosen — and shuts down gracefully on request.
+func StartMetrics(addr string, reg *Registry, progress func() any) (*MetricsServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", fmt.Errorf("metrics: listen %s: %w", addr, err)
+		return nil, fmt.Errorf("metrics: listen %s: %w", addr, err)
 	}
 	srv := &http.Server{Handler: NewHTTPHandler(reg, progress)}
 	go srv.Serve(ln)
-	return ln.Addr().String(), nil
+	return &MetricsServer{srv: srv, addr: ln.Addr().String()}, nil
+}
+
+// ServeMetrics is StartMetrics without the shutdown handle: the listener
+// lives until the process exits. Kept for callers whose endpoint really is
+// process-lifetime (tests, fire-and-forget tooling).
+func ServeMetrics(addr string, reg *Registry, progress func() any) (string, error) {
+	m, err := StartMetrics(addr, reg, progress)
+	if err != nil {
+		return "", err
+	}
+	return m.Addr(), nil
 }

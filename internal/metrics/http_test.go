@@ -1,8 +1,10 @@
 package metrics
 
 import (
+	"context"
 	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -135,5 +137,42 @@ func TestServeMetrics(t *testing.T) {
 	}
 	if !strings.Contains(string(body), "/metrics") {
 		t.Fatalf("index does not list /metrics: %s", body)
+	}
+}
+
+// TestMetricsServerShutdown: StartMetrics serves until Shutdown drains it,
+// after which the port is released and a nil server shuts down as a no-op
+// — the graceful path every signal-interrupted command exit takes.
+func TestMetricsServerShutdown(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("runs_total").Inc()
+	m, err := StartMetrics("127.0.0.1:0", reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + m.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	if err := m.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + m.Addr() + "/metrics"); err == nil {
+		t.Fatal("endpoint still serving after Shutdown")
+	}
+	// The port must be free again for the next run.
+	ln, err := net.Listen("tcp", m.Addr())
+	if err != nil {
+		t.Fatalf("port not released: %v", err)
+	}
+	ln.Close()
+	var nilSrv *MetricsServer
+	if err := nilSrv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("nil shutdown: %v", err)
 	}
 }

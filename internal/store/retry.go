@@ -1,0 +1,79 @@
+package store
+
+import (
+	"errors"
+	"io/fs"
+	"syscall"
+	"time"
+)
+
+// Error taxonomy for store I/O, mirroring DESIGN §14's supervision model.
+// Every filesystem failure the store sees falls in exactly one class:
+//
+//   - miss: fs.ErrNotExist on a read. Not an error at all — the entry was
+//     never written (or was evicted). Counted as an ordinary miss.
+//   - deterministic: the operation will fail the same way every time —
+//     permission denied, read-only filesystem, disk full. Retrying wastes
+//     wall clock; the store degrades immediately.
+//   - transient: everything else (EIO, EINTR, EAGAIN, a racing unlink, an
+//     overloaded network filesystem). Retried with capped exponential
+//     backoff; exhausting the retries reclassifies the failure as
+//     persistent and the store degrades.
+//
+// "Degrades" means the store flips to a no-op shell: every Get is a miss,
+// every Put is dropped, and the sweep recomputes instead — graceful
+// degradation, never a hard failure. The flip is counted on the metrics
+// registry (store.degraded) and reported once on stderr-bound Stats so an
+// operator can see a run silently lost its accelerator.
+
+// deterministicFS reports whether an I/O error is in the
+// fail-the-same-way-forever class, where retrying cannot help.
+func deterministicFS(err error) bool {
+	return errors.Is(err, fs.ErrPermission) ||
+		errors.Is(err, syscall.ENOSPC) ||
+		errors.Is(err, syscall.EROFS) ||
+		errors.Is(err, syscall.EDQUOT)
+}
+
+// retryPolicy is the store's capped exponential backoff: attempt, then
+// sleep base, 2*base, 4*base ... capped at max, for at most attempts
+// total tries. The zero value is invalid; use defaultRetry.
+type retryPolicy struct {
+	attempts int
+	base     time.Duration
+	max      time.Duration
+	sleep    func(time.Duration) // swapped by tests to avoid real waiting
+}
+
+// defaultRetry: 4 attempts, 1ms/2ms/4ms between them. A transient blip
+// (NFS hiccup, racing eviction) clears well inside that; anything that
+// survives 7ms of patience is treated as persistent.
+func defaultRetry() retryPolicy {
+	return retryPolicy{attempts: 4, base: time.Millisecond, max: 50 * time.Millisecond, sleep: time.Sleep}
+}
+
+// do runs op under the policy. A nil or not-exist return passes through
+// immediately (not-exist is a miss, not a fault). Deterministic errors
+// are returned on first sight; transient ones are retried with backoff,
+// each retry counted on the store.retries counter. The returned error is
+// the last attempt's.
+func (p retryPolicy) do(op func() error) error {
+	delay := p.base
+	var err error
+	for i := 0; i < p.attempts; i++ {
+		err = op()
+		if err == nil || errors.Is(err, fs.ErrNotExist) || deterministicFS(err) {
+			return err
+		}
+		if i == p.attempts-1 {
+			break
+		}
+		ctr().retries.Inc()
+		p.sleep(delay)
+		delay *= 2
+		if delay > p.max {
+			delay = p.max
+		}
+	}
+	return err
+}

@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
@@ -114,6 +115,17 @@ type Store struct {
 	bytes   int64
 	clock   uint64
 	entries map[string]*entry // rel path "tier/key" -> entry
+
+	fs     FS          // filesystem seam (osFS in production, FaultFS in chaos tests)
+	retry  retryPolicy // transient-error backoff
+	tmpSeq atomic.Uint64
+
+	// degraded flips once on a persistent I/O failure: from then on every
+	// Get misses and every Put is dropped, so the sweep recomputes instead
+	// of fighting a broken disk. degradeErr keeps the failure that tripped
+	// it for Stats and diagnostics.
+	degraded   atomic.Bool
+	degradeErr atomic.Pointer[error]
 }
 
 // Open opens (creating if needed) the store directory with the given byte
@@ -123,16 +135,26 @@ type Store struct {
 // deletes a stale directory. Existing entries are indexed in file-mtime
 // order so LRU eviction order survives across processes.
 func Open(dir string, budget int64) (*Store, error) {
+	return OpenFS(dir, budget, osFS{})
+}
+
+// OpenFS is Open on an explicit filesystem implementation — the chaos
+// tests' entry point for injecting I/O faults under every store code
+// path.
+func OpenFS(dir string, budget int64, fsys FS) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("store: empty directory")
 	}
 	if budget <= 0 {
 		return nil, fmt.Errorf("store: non-positive byte budget %d", budget)
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if fsys == nil {
+		fsys = osFS{}
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	s := &Store{root: dir, budget: budget, entries: make(map[string]*entry)}
+	s := &Store{root: dir, budget: budget, entries: make(map[string]*entry), fs: fsys, retry: defaultRetry()}
 	if err := s.checkManifest(); err != nil {
 		return nil, err
 	}
@@ -144,10 +166,10 @@ func Open(dir string, budget int64) (*Store, error) {
 	var found []scanned
 	for _, t := range []Tier{TierTrace, TierResult} {
 		td := filepath.Join(dir, t.dir())
-		if err := os.MkdirAll(td, 0o755); err != nil {
+		if err := fsys.MkdirAll(td, 0o755); err != nil {
 			return nil, fmt.Errorf("store: %w", err)
 		}
-		des, err := os.ReadDir(td)
+		des, err := fsys.ReadDir(td)
 		if err != nil {
 			return nil, fmt.Errorf("store: %w", err)
 		}
@@ -166,11 +188,15 @@ func Open(dir string, budget int64) (*Store, error) {
 			})
 		}
 	}
-	// Sweep temp files a crashed writer may have left in the root.
-	if des, err := os.ReadDir(dir); err == nil {
+	// Sweep temp files a crashed writer may have left in the root. A live
+	// writer's temps are never here: mid-run write and rename failures
+	// remove their temp immediately (writeFileAtomic), so this sweep only
+	// ever sees the residue of a process that died between write and
+	// rename.
+	if des, err := fsys.ReadDir(dir); err == nil {
 		for _, de := range des {
 			if de.Type().IsRegular() && strings.HasPrefix(de.Name(), "put-") {
-				os.Remove(filepath.Join(dir, de.Name()))
+				fsys.Remove(filepath.Join(dir, de.Name()))
 			}
 		}
 	}
@@ -191,7 +217,7 @@ func Open(dir string, budget int64) (*Store, error) {
 // else is ErrStale.
 func (s *Store) checkManifest() error {
 	path := filepath.Join(s.root, manifestFile)
-	b, err := os.ReadFile(path)
+	b, err := s.fs.ReadFile(path)
 	switch {
 	case err == nil:
 		var m manifest
@@ -202,14 +228,14 @@ func (s *Store) checkManifest() error {
 		return nil
 	case os.IsNotExist(err):
 		for _, t := range []Tier{TierTrace, TierResult} {
-			des, derr := os.ReadDir(filepath.Join(s.root, t.dir()))
+			des, derr := s.fs.ReadDir(filepath.Join(s.root, t.dir()))
 			if derr == nil && len(des) > 0 {
 				return fmt.Errorf("%w: %s is populated but has no %s",
 					ErrStale, s.root, manifestFile)
 			}
 		}
 		mb, _ := json.Marshal(manifest{SchemaVersion: SchemaVersion})
-		return s.writeAtomic(path, append(mb, '\n'))
+		return s.writeFileAtomic(path, append(mb, '\n'))
 	default:
 		return fmt.Errorf("store: %w", err)
 	}
@@ -270,15 +296,26 @@ func (s *Store) Len() int {
 // verified header (for trace entries, equal to emu.ChecksumRecs of the
 // decoded records).
 func (s *Store) Get(t Tier, key string) (payload []byte, sum uint64, ok bool) {
-	if s == nil {
+	if s == nil || s.degraded.Load() {
 		return nil, 0, false
 	}
 	c := ctr()
 	start := time.Now()
 	path := s.EntryPath(t, key)
-	data, err := os.ReadFile(path)
+	var data []byte
+	err := s.retry.do(func() error {
+		var e error
+		data, e = s.fs.ReadFile(path)
+		return e
+	})
 	if err != nil {
 		c.missOf(t).Inc()
+		if !errors.Is(err, fs.ErrNotExist) {
+			// A read that failed after retries (or deterministically) is a
+			// broken disk, not a cold cache: degrade rather than pay the
+			// retry tax on every future key.
+			s.degrade(err)
+		}
 		return nil, 0, false
 	}
 	if len(data) < headerBytes ||
@@ -308,9 +345,35 @@ func (s *Store) Get(t Tier, key string) (payload []byte, sum uint64, ok bool) {
 	}
 	s.mu.Unlock()
 	// Touch the file so cross-process LRU order tracks use, not creation.
+	// Best-effort: a failed touch only skews cross-process LRU recency.
 	now := time.Now()
-	os.Chtimes(path, now, now)
+	s.fs.Chtimes(path, now, now)
 	return payload, sum, true
+}
+
+// degrade flips the store into its no-op shell, counting the transition
+// once and keeping the triggering error. Concurrent failures race
+// benignly: the first to flip wins the counter, every loser's error is
+// equivalent evidence.
+func (s *Store) degrade(err error) {
+	if s.degraded.CompareAndSwap(false, true) {
+		s.degradeErr.Store(&err)
+		ctr().degraded.Inc()
+	}
+}
+
+// Degraded reports whether the store has given up on its disk, and the
+// persistent I/O failure that made it. A degraded store stays safe to
+// call — every operation is a cheap miss/no-op — so callers only need
+// this for reporting.
+func (s *Store) Degraded() (bool, error) {
+	if s == nil || !s.degraded.Load() {
+		return false, nil
+	}
+	if p := s.degradeErr.Load(); p != nil {
+		return true, *p
+	}
+	return true, nil
 }
 
 // dropCorrupt deletes a failed-verification entry and counts it. The miss
@@ -320,7 +383,7 @@ func (s *Store) dropCorrupt(t Tier, key, path string) {
 	c := ctr()
 	c.corrupt.Inc()
 	c.missOf(t).Inc()
-	os.Remove(path)
+	s.fs.Remove(path)
 	s.mu.Lock()
 	rel := t.dir() + "/" + key
 	if e := s.entries[rel]; e != nil {
@@ -335,9 +398,11 @@ func (s *Store) dropCorrupt(t Tier, key, path string) {
 // and self-heals as a corrupt miss), then renamed into place. Payloads
 // that alone exceed the byte budget are silently not stored. Overwriting
 // an existing key is allowed and idempotent — content addressing means the
-// bytes are identical anyway.
+// bytes are identical anyway. Transient write/rename failures are retried
+// with backoff; a persistent one degrades the store (future Puts become
+// free no-ops) and returns the error for counting.
 func (s *Store) Put(t Tier, key string, payload []byte) error {
-	if s == nil {
+	if s == nil || s.degraded.Load() {
 		return nil
 	}
 	if int64(len(payload))+headerBytes > s.budget {
@@ -345,26 +410,13 @@ func (s *Store) Put(t Tier, key string, payload []byte) error {
 	}
 	c := ctr()
 	start := time.Now()
-	hdr := make([]byte, headerBytes)
-	copy(hdr, entryMagic)
-	binary.LittleEndian.PutUint64(hdr[8:16], uint64(len(payload)))
-	binary.LittleEndian.PutUint64(hdr[16:24], checksum(payload))
-	f, err := os.CreateTemp(s.root, "put-*")
-	if err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	tmp := f.Name()
-	if _, err = f.Write(hdr); err == nil {
-		_, err = f.Write(payload)
-	}
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err == nil {
-		err = os.Rename(tmp, s.EntryPath(t, key))
-	}
-	if err != nil {
-		os.Remove(tmp)
+	buf := make([]byte, headerBytes+len(payload))
+	copy(buf, entryMagic)
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(len(payload)))
+	binary.LittleEndian.PutUint64(buf[16:24], checksum(payload))
+	copy(buf[headerBytes:], payload)
+	if err := s.writeFileAtomic(s.EntryPath(t, key), buf); err != nil {
+		s.degrade(err)
 		return fmt.Errorf("store: %w", err)
 	}
 	size := int64(headerBytes + len(payload))
@@ -383,25 +435,30 @@ func (s *Store) Put(t Tier, key string, payload []byte) error {
 	return nil
 }
 
-// writeAtomic writes a non-entry file (the manifest) via temp + rename.
-func (s *Store) writeAtomic(path string, b []byte) error {
-	f, err := os.CreateTemp(s.root, "put-*")
-	if err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	tmp := f.Name()
-	_, err = f.Write(b)
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err == nil {
-		err = os.Rename(tmp, path)
-	}
-	if err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("store: %w", err)
-	}
-	return nil
+// tempName returns a fresh temp path in the store root. The "put-" prefix
+// is the crash-sweep contract with Open; pid + sequence keeps concurrent
+// processes and goroutines from colliding.
+func (s *Store) tempName() string {
+	return filepath.Join(s.root, fmt.Sprintf("put-%d-%d", os.Getpid(), s.tmpSeq.Add(1)))
+}
+
+// writeFileAtomic writes bytes via temp + rename, retrying transient
+// failures with backoff. Every failed attempt removes its temp file
+// immediately — a mid-run write or rename error must not leave residue
+// for the next Open to sweep (TestWriteFailureLeavesNoTempResidue).
+func (s *Store) writeFileAtomic(path string, b []byte) error {
+	return s.retry.do(func() error {
+		tmp := s.tempName()
+		if err := s.fs.WriteFile(tmp, b, 0o644); err != nil {
+			s.fs.Remove(tmp)
+			return err
+		}
+		if err := s.fs.Rename(tmp, path); err != nil {
+			s.fs.Remove(tmp)
+			return err
+		}
+		return nil
+	})
 }
 
 // evictLocked enforces the byte budget by deleting least-recently-used
@@ -417,7 +474,7 @@ func (s *Store) evictLocked() {
 		}
 		s.bytes -= ve.size
 		delete(s.entries, victim)
-		os.Remove(filepath.Join(s.root, filepath.FromSlash(victim)))
+		s.fs.Remove(filepath.Join(s.root, filepath.FromSlash(victim)))
 		ctr().evictions.Inc()
 	}
 }
@@ -430,6 +487,7 @@ type counters struct {
 	resultHits, resultMisses *metrics.Counter
 	writes, evictions        *metrics.Counter
 	corrupt                  *metrics.Counter
+	retries, degraded        *metrics.Counter
 	loadNS, writeNS          *metrics.Counter
 }
 
@@ -449,6 +507,8 @@ func Rebind(r *metrics.Registry) {
 		writes:       r.Counter("store.writes"),
 		evictions:    r.Counter("store.evictions"),
 		corrupt:      r.Counter("store.corrupt"),
+		retries:      r.Counter("store.retries"),
+		degraded:     r.Counter("store.degraded"),
 		loadNS:       r.Counter("store.load_ns"),
 		writeNS:      r.Counter("store.write_ns"),
 	})
@@ -479,7 +539,8 @@ func ResetCounters() {
 	c := ctr()
 	for _, k := range []*metrics.Counter{
 		c.traceHits, c.traceMisses, c.resultHits, c.resultMisses,
-		c.writes, c.evictions, c.corrupt, c.loadNS, c.writeNS,
+		c.writes, c.evictions, c.corrupt, c.retries, c.degraded,
+		c.loadNS, c.writeNS,
 	} {
 		k.Reset()
 	}
@@ -495,6 +556,8 @@ type Stats struct {
 	Writes       int           `json:"writes"`
 	Evictions    int           `json:"evictions"`
 	Corrupt      int           `json:"corrupt"`
+	Retries      int           `json:"retries"`
+	Degraded     int           `json:"degraded"`
 	LoadTime     time.Duration `json:"load_time_ns"`
 	WriteTime    time.Duration `json:"write_time_ns"`
 }
@@ -510,6 +573,8 @@ func ReadStats() Stats {
 		Writes:       int(c.writes.Value()),
 		Evictions:    int(c.evictions.Value()),
 		Corrupt:      int(c.corrupt.Value()),
+		Retries:      int(c.retries.Value()),
+		Degraded:     int(c.degraded.Value()),
 		LoadTime:     time.Duration(c.loadNS.Value()),
 		WriteTime:    time.Duration(c.writeNS.Value()),
 	}
